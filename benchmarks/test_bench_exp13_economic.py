@@ -1,0 +1,124 @@
+"""EXP13 — economic models allocate resources by business importance.
+
+Claim reproduced (Table 3, [4][78]): "amounts of shared system
+resources are dynamically allocated to concurrent workloads according
+to the levels of the workload's business importance...  more shared
+system resources can be dynamically allocated to higher business
+important workloads than the ones with lower business importance during
+run time."
+
+Setup: two identical continuous workloads, importance 3 : 1; halfway
+through the run the policy flips to 1 : 3 (the *dynamic* part).
+Expected shape: realized resource shares track the importance ratio in
+each phase, and per-workload velocities follow.
+"""
+
+import functools
+
+from repro.engine.resources import MachineSpec, ResourceKind
+from repro.engine.simulator import Simulator
+from repro.execution.economic import EconomicResourceAllocator
+from repro.workloads.generator import Scenario
+from repro.workloads.models import (
+    ClosedArrivals,
+    Constant,
+    RequestClass,
+    WorkloadSpec,
+)
+
+from benchmarks._scenarios import build_manager, drive
+from benchmarks.conftest import write_result
+
+HORIZON = 120.0
+MACHINE = MachineSpec(cpu_capacity=2.0, disk_capacity=4.0, memory_mb=4096.0)
+
+
+def _workload(name: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        request_classes=(
+            (
+                RequestClass(
+                    f"{name}-q", cpu=Constant(6.0), io=Constant(1.0),
+                    memory_mb=Constant(32.0),
+                ),
+                1.0,
+            ),
+        ),
+        arrivals=ClosedArrivals(population=4, think_time=Constant(0.1)),
+        priority=1,
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def run_experiment(seed=131):
+    sim = Simulator(seed=seed)
+    allocator = EconomicResourceAllocator(importance={"alpha": 3, "beta": 1})
+    manager = build_manager(
+        sim,
+        machine=MACHINE,
+        controllers=[allocator],
+        control_period=1.0,
+        weight_fn=lambda q: 1.0,
+    )
+    # flip the importance policy at half time
+    sim.schedule_at(HORIZON / 2, lambda: allocator.set_importance("alpha", 1))
+    sim.schedule_at(HORIZON / 2, lambda: allocator.set_importance("beta", 3))
+    scenario = Scenario(
+        specs=(_workload("alpha"), _workload("beta")), horizon=HORIZON
+    )
+    drive(manager, scenario, drain=0.0)
+
+    # realized weight ratios per phase from the allocator's trace
+    def phase_ratio(start, end):
+        ratios = []
+        for time, snapshot in allocator.allocation_history:
+            if start <= time < end and "alpha" in snapshot and "beta" in snapshot:
+                ratios.append(snapshot["alpha"] / snapshot["beta"])
+        return sum(ratios) / len(ratios) if ratios else None
+
+    stats_alpha = manager.metrics.stats_for("alpha")
+    stats_beta = manager.metrics.stats_for("beta")
+    return {
+        "phase1_ratio": phase_ratio(5.0, HORIZON / 2),
+        "phase2_ratio": phase_ratio(HORIZON / 2 + 5.0, HORIZON),
+        "alpha_phase1_completions": sum(
+            1 for t in stats_alpha.completion_times if t < HORIZON / 2
+        ),
+        "beta_phase1_completions": sum(
+            1 for t in stats_beta.completion_times if t < HORIZON / 2
+        ),
+        "alpha_phase2_completions": sum(
+            1 for t in stats_alpha.completion_times if t >= HORIZON / 2
+        ),
+        "beta_phase2_completions": sum(
+            1 for t in stats_beta.completion_times if t >= HORIZON / 2
+        ),
+    }
+
+
+def test_exp13_economic_allocation(benchmark):
+    row = run_experiment()
+    lines = [
+        "EXP13 — economic-model resource allocation [78]",
+        "",
+        f"phase 1 (importance alpha:beta = 3:1): weight ratio "
+        f"{row['phase1_ratio']:.2f}, completions "
+        f"{row['alpha_phase1_completions']}:{row['beta_phase1_completions']}",
+        f"phase 2 (importance alpha:beta = 1:3): weight ratio "
+        f"{row['phase2_ratio']:.2f}, completions "
+        f"{row['alpha_phase2_completions']}:{row['beta_phase2_completions']}",
+    ]
+    write_result("exp13_economic", "\n".join(lines))
+
+    # realized weights track the importance policy in both phases
+    assert 2.5 <= row["phase1_ratio"] <= 3.5
+    assert 1 / 3.5 <= row["phase2_ratio"] <= 1 / 2.5
+    # throughput follows importance: alpha completes more in phase 1,
+    # beta more in phase 2
+    assert row["alpha_phase1_completions"] > row["beta_phase1_completions"]
+    assert row["beta_phase2_completions"] > row["alpha_phase2_completions"]
+
+    benchmark.pedantic(
+        lambda: run_experiment.__wrapped__(seed=132), rounds=1, iterations=1
+    )

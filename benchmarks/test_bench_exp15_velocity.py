@@ -1,0 +1,138 @@
+"""EXP15 — request execution velocity as an objective metric (§2.1).
+
+Claims reproduced: "request execution velocity can be simply described
+as the ratio of the expected execution time of a request to the actual
+time the request spent in the system...  If an execution velocity is
+close to 1, the delay of the request is small, while an execution
+velocity close to 0 indicat[es] a significant delay"; and "by checking
+if a request's execution velocity is close to 1, it can be known that
+the request (no matter a low or high priority) has met its desired
+performance objective or not".
+
+Setup: the same short-query stream measured (a) unloaded, (b) under
+heavy interference, (c) under interference with a velocity-goal
+throttling controller.  Expected shape: velocity ~1 unloaded, collapses
+under interference, and is restored toward the goal by control — and
+the metric is comparable across the short (high-priority) and long
+(low-priority) request populations.
+"""
+
+import functools
+
+from repro.engine.resources import MachineSpec
+from repro.engine.simulator import Simulator
+from repro.execution.throttling import QueryThrottlingController
+from repro.workloads.generator import Scenario
+from repro.workloads.models import (
+    Constant,
+    Exponential,
+    OpenArrivals,
+    RequestClass,
+    WorkloadSpec,
+)
+
+from benchmarks._scenarios import build_manager, drive
+from benchmarks.conftest import write_result
+
+HORIZON = 120.0
+MACHINE = MachineSpec(cpu_capacity=1.0, disk_capacity=2.0, memory_mb=4096.0)
+VELOCITY_GOAL = 0.7
+
+
+def _shorts(rate=1.0):
+    return WorkloadSpec(
+        name="shorts",
+        request_classes=(
+            (
+                RequestClass(
+                    "s-q", cpu=Exponential(0.2), io=Exponential(0.05),
+                    memory_mb=Constant(8.0),
+                ),
+                1.0,
+            ),
+        ),
+        arrivals=OpenArrivals(rate=rate),
+        priority=3,
+    )
+
+
+def _hogs():
+    return WorkloadSpec(
+        name="hogs",
+        request_classes=(
+            (
+                RequestClass(
+                    "hog", cpu=Constant(150.0), io=Constant(10.0),
+                    memory_mb=Constant(64.0),
+                ),
+                1.0,
+            ),
+        ),
+        arrivals=OpenArrivals(rate=0.05),
+        priority=1,
+    )
+
+
+def run_variant(interference: bool, control: bool, seed=151):
+    sim = Simulator(seed=seed)
+    controllers = []
+    if control:
+        controllers.append(
+            QueryThrottlingController(
+                velocity_goal=VELOCITY_GOAL,
+                controller="step",
+                large_query_work=20.0,
+            )
+        )
+    specs = [_shorts()]
+    if interference:
+        specs.append(_hogs())
+    manager = build_manager(
+        sim,
+        machine=MACHINE,
+        controllers=controllers,
+        control_period=1.0,
+        weight_fn=lambda q: 1.0,
+    )
+    drive(manager, Scenario(specs=tuple(specs), horizon=HORIZON), drain=0.0)
+    shorts = manager.metrics.stats_for("shorts")
+    velocities = shorts.velocities
+    tail = velocities[len(velocities) // 2 :]
+    return {
+        "velocity": sum(tail) / len(tail) if tail else 0.0,
+        "completions": shorts.completions,
+    }
+
+
+@functools.lru_cache(maxsize=1)
+def results():
+    return {
+        "unloaded": run_variant(False, False),
+        "interference": run_variant(True, False),
+        "interference+control": run_variant(True, True),
+    }
+
+
+def test_exp15_execution_velocity(benchmark):
+    outcome = results()
+    lines = ["EXP15 — execution velocity (§2.1)", ""]
+    for name, row in outcome.items():
+        lines.append(
+            f"{name:>21}: mean velocity {row['velocity']:.2f} "
+            f"(n={row['completions']})"
+        )
+    write_result("exp15_velocity", "\n".join(lines))
+
+    # ~1 when unloaded
+    assert outcome["unloaded"]["velocity"] > 0.9
+    # collapses under interference
+    assert outcome["interference"]["velocity"] < 0.6
+    # restored toward the goal by execution control
+    assert (
+        outcome["interference+control"]["velocity"]
+        > outcome["interference"]["velocity"] + 0.1
+    )
+
+    benchmark.pedantic(
+        lambda: run_variant(True, True, seed=152), rounds=1, iterations=1
+    )

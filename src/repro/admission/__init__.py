@@ -1,0 +1,40 @@
+"""Admission control techniques (paper §3.2, Table 2).
+
+One module per surveyed approach:
+
+* :mod:`repro.admission.threshold` — query-cost and MPL thresholds
+  (system parameters) as in DB2 / SQL Server / Teradata [9][50][72];
+* :mod:`repro.admission.conflict_ratio` — Moenkeberg & Weikum's
+  conflict-ratio load control [56];
+* :mod:`repro.admission.throughput_feedback` — Heiss & Wagner's
+  adaptive throughput feedback [26];
+* :mod:`repro.admission.indicators` — monitor-metric indicators gating
+  low-priority work [79][80];
+* :mod:`repro.admission.prediction` — prediction-based admission with
+  learned execution-time models (PQR [23], Ganapathi et al. [21]);
+* :mod:`repro.admission.base` — composition helpers.
+"""
+
+from repro.admission.base import CompositeAdmission, PriorityExemptAdmission
+from repro.admission.threshold import ThresholdAdmission
+from repro.admission.conflict_ratio import ConflictRatioAdmission
+from repro.admission.throughput_feedback import ThroughputFeedbackAdmission
+from repro.admission.indicators import IndicatorAdmission, Indicator
+from repro.admission.prediction import (
+    PredictionBasedAdmission,
+    QueryFeatureExtractor,
+    RuntimePredictor,
+)
+
+__all__ = [
+    "CompositeAdmission",
+    "PriorityExemptAdmission",
+    "ThresholdAdmission",
+    "ConflictRatioAdmission",
+    "ThroughputFeedbackAdmission",
+    "IndicatorAdmission",
+    "Indicator",
+    "PredictionBasedAdmission",
+    "QueryFeatureExtractor",
+    "RuntimePredictor",
+]

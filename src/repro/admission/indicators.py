@@ -1,0 +1,120 @@
+"""Indicator-based admission control (Zhang et al. [79][80], Table 2).
+
+"The indicator approach uses a set of monitor metrics of a DBMS to
+detect the performance failure.  If the indicator's values exceed
+pre-defined thresholds, low priority requests are no longer admitted"
+(paper §3.2).
+
+Indicators are congestion signals computable from ordinary monitoring:
+CPU/disk utilization, memory pressure, conflict ratio, queue length and
+running count.  When any indicator fires, requests below the protected
+priority are delayed; high-priority work keeps flowing — the asymmetry
+is the point of the technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.classify import Feature
+from repro.core.interfaces import (
+    AdmissionController,
+    AdmissionDecision,
+    ManagerContext,
+)
+from repro.engine.query import Query
+
+
+@dataclass(frozen=True)
+class Indicator:
+    """One monitor metric with a congestion threshold."""
+
+    name: str
+    read: Callable[[ManagerContext], float]
+    threshold: float
+
+    def fired(self, context: ManagerContext) -> bool:
+        """True when the metric currently exceeds the threshold."""
+        return self.read(context) > self.threshold
+
+    def value(self, context: ManagerContext) -> float:
+        """Current value of the monitored metric."""
+        return self.read(context)
+
+
+def default_indicators(
+    memory_pressure: float = 1.5,
+    conflict_ratio: float = 1.5,
+    queue_length: float = 50.0,
+) -> List[Indicator]:
+    """The congestion-indicator set used in the experiments.
+
+    Mirrors the spirit of [79]: memory (sort/hash spill pressure), lock
+    contention, and queueing backlog.
+    """
+    return [
+        Indicator(
+            "memory_pressure",
+            lambda ctx: ctx.engine.memory_pressure(),
+            memory_pressure,
+        ),
+        Indicator(
+            "conflict_ratio",
+            lambda ctx: min(ctx.engine.conflict_ratio(), 1e6),
+            conflict_ratio,
+        ),
+        Indicator(
+            "queue_length",
+            lambda ctx: float(
+                ctx.manager.queued_count if ctx.manager is not None else 0
+            ),
+            queue_length,
+        ),
+    ]
+
+
+class IndicatorAdmission(AdmissionController):
+    """Delay low-priority requests while congestion indicators fire."""
+
+    TECHNIQUE_FEATURES = frozenset(
+        {
+            Feature.ACTS_AT_ARRIVAL,
+            Feature.USES_THRESHOLDS,
+            Feature.THRESHOLD_ON_MONITOR_METRICS,
+        }
+    )
+
+    def __init__(
+        self,
+        indicators: Optional[Sequence[Indicator]] = None,
+        protected_priority: int = 2,
+    ) -> None:
+        self.indicators = (
+            default_indicators() if indicators is None else list(indicators)
+        )
+        if not self.indicators:
+            raise ValueError("need at least one indicator")
+        self.protected_priority = protected_priority
+        self.delays = 0
+        self.firings = {indicator.name: 0 for indicator in self.indicators}
+
+    def fired_indicators(self, context: ManagerContext) -> List[Indicator]:
+        """The subset of indicators currently signalling congestion."""
+        return [i for i in self.indicators if i.fired(context)]
+
+    def decide(self, query: Query, context: ManagerContext) -> AdmissionDecision:
+        if query.priority >= self.protected_priority:
+            return AdmissionDecision.accept(
+                f"priority {query.priority} protected"
+            )
+        fired = self.fired_indicators(context)
+        if fired:
+            for indicator in fired:
+                self.firings[indicator.name] += 1
+            self.delays += 1
+            names = ", ".join(
+                f"{i.name}={i.value(context):.2f}>{i.threshold:g}" for i in fired
+            )
+            return AdmissionDecision.delay(f"indicators fired: {names}")
+        return AdmissionDecision.accept("no congestion indicators fired")

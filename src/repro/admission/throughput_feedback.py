@@ -1,0 +1,111 @@
+"""Adaptive load control by throughput feedback (Heiss & Wagner [26]).
+
+"The approach measures the transaction throughput over time intervals.
+If the throughput in the last measurement interval has increased
+(compared to the interval before), more transactions are admitted; if
+the throughput has decreased, fewer transactions are admitted"
+(paper §3.2, Table 2).
+
+This is hill-climbing on the throughput-vs-MPL curve: the controller
+keeps an admission limit (MPL), perturbs it in the current direction
+each interval, and reverses direction when the measured throughput
+drops.  It converges to a neighbourhood of the curve's knee — the
+optimal MPL — without a model of the system, which is what the
+experiment EXP4 validates against the exhaustive sweep of EXP1.
+"""
+
+from __future__ import annotations
+
+from repro.core.classify import Feature
+from repro.core.interfaces import (
+    AdmissionController,
+    AdmissionDecision,
+    ManagerContext,
+)
+from repro.engine.query import Query, QueryState
+
+
+class ThroughputFeedbackAdmission(AdmissionController):
+    """Hill-climbing MPL controller driven by completion throughput.
+
+    Parameters
+    ----------
+    initial_mpl, min_mpl, max_mpl:
+        Start and bounds of the admission limit.
+    interval:
+        Measurement-interval length in simulated seconds.
+    step:
+        MPL change applied each interval.
+    hysteresis:
+        Relative throughput change below which the controller holds
+        its direction (avoids flapping on noise).
+    """
+
+    TECHNIQUE_FEATURES = frozenset(
+        {
+            Feature.ACTS_AT_ARRIVAL,
+            Feature.USES_THRESHOLDS,
+            Feature.THRESHOLD_ON_PERFORMANCE_METRIC,
+            Feature.USES_FEEDBACK_CONTROLLER,
+        }
+    )
+
+    def __init__(
+        self,
+        initial_mpl: int = 8,
+        min_mpl: int = 1,
+        max_mpl: int = 200,
+        interval: float = 5.0,
+        step: int = 2,
+        hysteresis: float = 0.02,
+    ) -> None:
+        if not min_mpl <= initial_mpl <= max_mpl:
+            raise ValueError("need min_mpl <= initial_mpl <= max_mpl")
+        if interval <= 0 or step < 1:
+            raise ValueError("interval must be > 0 and step >= 1")
+        self.mpl = initial_mpl
+        self.min_mpl = min_mpl
+        self.max_mpl = max_mpl
+        self.interval = interval
+        self.step = step
+        self.hysteresis = hysteresis
+        self._direction = 1
+        self._completions_this_interval = 0
+        self._last_throughput = None
+        self.mpl_history = []          # (time, mpl) trace for experiments
+        self.delays = 0
+
+    def attach(self, context: ManagerContext) -> None:
+        context.sim.schedule_periodic(
+            self.interval,
+            lambda: self._adjust(context),
+            label="heiss-wagner:interval",
+        )
+        self.mpl_history.append((context.now, self.mpl))
+
+    def decide(self, query: Query, context: ManagerContext) -> AdmissionDecision:
+        if context.engine.running_count >= self.mpl:
+            self.delays += 1
+            return AdmissionDecision.delay(
+                f"feedback MPL {self.mpl} reached"
+            )
+        return AdmissionDecision.accept(f"within feedback MPL {self.mpl}")
+
+    def notify_exit(self, query: Query, context: ManagerContext) -> None:
+        if query.state is QueryState.COMPLETED:
+            self._completions_this_interval += 1
+
+    def _adjust(self, context: ManagerContext) -> None:
+        throughput = self._completions_this_interval / self.interval
+        self._completions_this_interval = 0
+        if self._last_throughput is not None:
+            reference = max(self._last_throughput, 1e-9)
+            change = (throughput - self._last_throughput) / reference
+            if change < -self.hysteresis:
+                self._direction = -self._direction
+            # increases (or flat within hysteresis) keep the direction
+        self._last_throughput = throughput
+        self.mpl = int(
+            min(self.max_mpl, max(self.min_mpl, self.mpl + self._direction * self.step))
+        )
+        self.mpl_history.append((context.now, self.mpl))

@@ -1,0 +1,43 @@
+"""Workload characterization techniques (paper §3.1, Figure 1).
+
+* :mod:`repro.characterization.static` — static characterization:
+  workload definitions over connection attributes and work classes
+  (DB2/Teradata style) and classifier functions (SQL Server style);
+* :mod:`repro.characterization.features` — feature extraction from
+  queries and query-log windows;
+* :mod:`repro.characterization.dynamic` — dynamic characterization:
+  machine-learned classifiers identifying request/workload types from
+  observed behaviour [19][73].
+"""
+
+from repro.characterization.static import (
+    AttributePredicate,
+    WorkClassCriteria,
+    WorkloadDefinition,
+    StaticCharacterizer,
+    ClassifierFunctionCharacterizer,
+)
+from repro.characterization.features import (
+    query_features,
+    QUERY_FEATURE_NAMES,
+    WindowFeatures,
+)
+from repro.characterization.dynamic import (
+    QueryTypeClassifier,
+    WorkloadPhaseDetector,
+    DynamicCharacterizer,
+)
+
+__all__ = [
+    "AttributePredicate",
+    "WorkClassCriteria",
+    "WorkloadDefinition",
+    "StaticCharacterizer",
+    "ClassifierFunctionCharacterizer",
+    "query_features",
+    "QUERY_FEATURE_NAMES",
+    "WindowFeatures",
+    "QueryTypeClassifier",
+    "WorkloadPhaseDetector",
+    "DynamicCharacterizer",
+]

@@ -1,0 +1,114 @@
+"""Feature extraction for dynamic workload characterization (§3.1).
+
+Two granularities, matching the two surveyed uses:
+
+* per-query features (:func:`query_features`) — for classifying an
+  individual arriving request into a type (OLTP-ish vs. BI-ish);
+* per-window features (:class:`WindowFeatures`) — aggregates over a
+  query-log window, the "workload snapshot" representation Elnaffar et
+  al. [19] classify to detect which kind of workload is present.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.engine.query import Query, StatementType
+from repro.workloads.traces import QueryLogRecord
+
+#: Order of the values returned by :func:`query_features`.
+QUERY_FEATURE_NAMES = (
+    "log_estimated_work",
+    "log_estimated_memory",
+    "log_estimated_rows",
+    "is_write",
+    "plan_length",
+)
+
+
+def query_features(query: Query) -> List[float]:
+    """Pre-execution features of one request (no true costs)."""
+    return [
+        math.log1p(max(0.0, query.estimated_cost.total_work)),
+        math.log1p(max(0.0, query.estimated_cost.memory_mb)),
+        math.log1p(max(0.0, float(query.estimated_cost.rows))),
+        1.0
+        if query.statement_type
+        in (StatementType.WRITE, StatementType.DML, StatementType.LOAD)
+        else 0.0,
+        float(len(query.plan)),
+    ]
+
+
+@dataclass(frozen=True)
+class WindowFeatures:
+    """Aggregate features of a query-log window."""
+
+    arrival_rate: float
+    mean_log_work: float
+    std_log_work: float
+    write_fraction: float
+    mean_log_rows: float
+    mean_log_memory: float
+
+    FEATURE_NAMES = (
+        "arrival_rate",
+        "mean_log_work",
+        "std_log_work",
+        "write_fraction",
+        "mean_log_rows",
+        "mean_log_memory",
+    )
+
+    def vector(self) -> List[float]:
+        """Feature values in FEATURE_NAMES order."""
+        return [
+            self.arrival_rate,
+            self.mean_log_work,
+            self.std_log_work,
+            self.write_fraction,
+            self.mean_log_rows,
+            self.mean_log_memory,
+        ]
+
+    @staticmethod
+    def from_records(
+        records: Sequence[QueryLogRecord], window_seconds: float
+    ) -> "WindowFeatures":
+        """Aggregate one window of log records."""
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if not records:
+            return WindowFeatures(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        log_work = [
+            math.log1p(max(0.0, r.estimated_cost.total_work)) for r in records
+        ]
+        writes = sum(
+            1
+            for r in records
+            if r.statement_type
+            in (StatementType.WRITE, StatementType.DML, StatementType.LOAD)
+        )
+        return WindowFeatures(
+            arrival_rate=len(records) / window_seconds,
+            mean_log_work=float(np.mean(log_work)),
+            std_log_work=float(np.std(log_work)),
+            write_fraction=writes / len(records),
+            mean_log_rows=float(
+                np.mean(
+                    [math.log1p(max(0.0, float(r.estimated_cost.rows))) for r in records]
+                )
+            ),
+            mean_log_memory=float(
+                np.mean(
+                    [
+                        math.log1p(max(0.0, r.estimated_cost.memory_mb))
+                        for r in records
+                    ]
+                )
+            ),
+        )

@@ -1,0 +1,140 @@
+"""Command-line interface: the paper's artifacts from your terminal.
+
+Usage::
+
+    python -m repro figure                 # Figure 1 (add --annotate)
+    python -m repro tables [1..5|all]      # regenerate the tables
+    python -m repro demo [--seed N]        # run the mixed-workload demo
+    python -m repro classify F1 F2 ...     # classify a feature set
+    python -m repro features               # list classification features
+
+The CLI is intentionally thin — every command is one public-API call —
+so it doubles as living documentation of the library's entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.reporting.figures import render_figure1
+
+    print(render_figure1(annotate_descriptions=args.annotate))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.reporting import tables
+
+    renderers = {
+        "1": tables.render_table1,
+        "2": tables.render_table2,
+        "3": tables.render_table3,
+        "4": tables.render_table4,
+        "5": tables.render_table5,
+    }
+    if args.which == "all":
+        print(tables.all_tables())
+    else:
+        print(renderers[args.which]())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import MachineSpec, Simulator, WorkloadManager, mixed_scenario
+
+    sim = Simulator(seed=args.seed)
+    manager = WorkloadManager(
+        sim,
+        machine=MachineSpec(cpu_capacity=4.0, disk_capacity=2.0, memory_mb=2048.0),
+    )
+    scenario = mixed_scenario(horizon=args.horizon)
+    generator = scenario.build(sim, manager.submit, sessions=manager.sessions)
+    manager.add_completion_listener(generator.notify_done)
+    print(
+        f"Running {args.horizon:.0f}s of consolidated OLTP+BI+reports "
+        f"(seed {args.seed})..."
+    )
+    manager.run(scenario.horizon, drain=args.horizon)
+    for workload in sorted(manager.metrics.workloads()):
+        print(" ", manager.metrics.summary_line(workload, sim.now))
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    from repro.core.registry import Feature
+
+    print("Classification features (repro.core.registry.Feature):")
+    for feature in Feature:
+        print(f"  {feature.name:<34} {feature.value}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core.classify import classify_features
+    from repro.core.registry import Feature
+
+    try:
+        features = {Feature[name.upper()] for name in args.feature}
+    except KeyError as error:
+        print(f"unknown feature {error.args[0]!r}; run `python -m repro features`")
+        return 2
+    classes = classify_features(features)
+    if not classes:
+        print("no taxonomy class matches this feature set")
+        return 1
+    print("Classifies as:")
+    for technique_class in classes:
+        print(f"  - {technique_class.display_name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Workload management in DBMSs: the executable taxonomy.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure = subparsers.add_parser("figure", help="render Figure 1")
+    figure.add_argument(
+        "--annotate", action="store_true", help="append class definitions"
+    )
+    figure.set_defaults(func=_cmd_figure)
+
+    tables = subparsers.add_parser("tables", help="render Tables 1-5")
+    tables.add_argument(
+        "which", nargs="?", default="all", choices=["1", "2", "3", "4", "5", "all"]
+    )
+    tables.set_defaults(func=_cmd_tables)
+
+    demo = subparsers.add_parser("demo", help="run the mixed-workload demo")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--horizon", type=float, default=60.0)
+    demo.set_defaults(func=_cmd_demo)
+
+    features = subparsers.add_parser("features", help="list feature names")
+    features.set_defaults(func=_cmd_features)
+
+    classify = subparsers.add_parser(
+        "classify", help="classify a feature set against the taxonomy"
+    )
+    classify.add_argument("feature", nargs="+", help="Feature enum names")
+    classify.set_defaults(func=_cmd_classify)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Autonomic control: feedback controllers and the MAPE loop (§5.3).
+
+* :mod:`repro.control.controllers` — the controller algorithms the
+  surveyed techniques rely on: Proportional-Integral control [17][28]
+  (Parekh et al.'s utility throttling), the diminishing-step controller
+  and the black-box least-squares model controller of Powley et al.
+  [65][66];
+* :mod:`repro.control.loop` — the paper's §5.3 vision implemented: a
+  Monitor → Analyze → Plan → Execute feedback loop that selects and
+  applies workload-management techniques by utility.
+"""
+
+from repro.control.controllers import (
+    PIController,
+    StepController,
+    BlackBoxModelController,
+)
+from repro.control.loop import (
+    AutonomicLoop,
+    MonitorStage,
+    AnalyzeStage,
+    PlanStage,
+    ExecuteStage,
+    LoopAction,
+)
+
+__all__ = [
+    "PIController",
+    "StepController",
+    "BlackBoxModelController",
+    "AutonomicLoop",
+    "MonitorStage",
+    "AnalyzeStage",
+    "PlanStage",
+    "ExecuteStage",
+    "LoopAction",
+]

@@ -1,0 +1,169 @@
+"""System capacity estimation (paper §5.2, an identified open problem).
+
+"System capacity estimation is also significant in the workload
+management process, as all controls imposed on the end user's requests
+are based on the system state.  If the system state of a database
+server is overloaded, no requests can be admitted and scheduled, while
+some running requests should have their execution slowed down."
+
+This module provides the estimator the paper calls for: a snapshot of
+how loaded the server is (per-resource utilization, memory
+subscription, lock contention), a three-state classification
+(UNDERLOADED / NORMAL / OVERLOADED), and a *headroom* answer to the
+question every controller asks — "can this query be admitted while
+keeping the system in a normal state?".  The admission gate built on it
+(:class:`CapacityAwareAdmission`) is the taxonomy's threshold-based
+class with the thresholds derived from the estimate instead of being
+manually configured — addressing §5.2's complaint that "a large number
+of workload control threshold values must be well understood and set by
+the system administrators".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.classify import Feature
+from repro.core.interfaces import (
+    AdmissionController,
+    AdmissionDecision,
+    ManagerContext,
+)
+from repro.engine.executor import ExecutionEngine
+from repro.engine.query import Query
+from repro.engine.resources import ResourceKind
+
+
+class SystemState(enum.Enum):
+    """The three-state load classification of §5.2."""
+
+    UNDERLOADED = "underloaded"
+    NORMAL = "normal"
+    OVERLOADED = "overloaded"
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """A snapshot of available capacity on the simulated server."""
+
+    state: SystemState
+    cpu_utilization: float          # 0..1
+    disk_utilization: float         # 0..1
+    memory_headroom_mb: float       # can be negative when oversubscribed
+    memory_subscription: float      # committed / capacity
+    conflict_ratio: float
+    bottleneck_utilization: float   # max of cpu/disk utilization
+
+    @property
+    def admits_new_work(self) -> bool:
+        return self.state is not SystemState.OVERLOADED
+
+
+class CapacityEstimator:
+    """Classifies system state and answers admission headroom queries.
+
+    Thresholds (all overridable):
+
+    * ``overload_memory`` — memory subscription beyond which spill makes
+      added work counterproductive (the EXP1 knee's mechanism);
+    * ``overload_conflict`` — the critical conflict ratio [56];
+    * ``underload_utilization`` — below this bottleneck utilization the
+      machine has idle capacity.
+    """
+
+    def __init__(
+        self,
+        overload_memory: float = 1.1,
+        overload_conflict: float = 1.5,
+        underload_utilization: float = 0.5,
+    ) -> None:
+        if overload_memory <= 0:
+            raise ValueError("overload_memory must be positive")
+        self.overload_memory = overload_memory
+        self.overload_conflict = overload_conflict
+        self.underload_utilization = underload_utilization
+
+    def estimate(self, engine: ExecutionEngine) -> CapacityEstimate:
+        """Snapshot the engine's load state."""
+        cpu = engine.utilization(ResourceKind.CPU)
+        disk = engine.utilization(ResourceKind.DISK)
+        bottleneck = max(cpu, disk)
+        subscription = engine.memory_pressure()
+        headroom = engine.machine.memory_mb * (1.0 - subscription)
+        conflict = min(engine.conflict_ratio(), 1e6)
+
+        if subscription > self.overload_memory or conflict > self.overload_conflict:
+            state = SystemState.OVERLOADED
+        elif bottleneck < self.underload_utilization and subscription < 0.8:
+            state = SystemState.UNDERLOADED
+        else:
+            state = SystemState.NORMAL
+
+        return CapacityEstimate(
+            state=state,
+            cpu_utilization=cpu,
+            disk_utilization=disk,
+            memory_headroom_mb=headroom,
+            memory_subscription=subscription,
+            conflict_ratio=conflict,
+            bottleneck_utilization=bottleneck,
+        )
+
+    def fits(self, engine: ExecutionEngine, query: Query) -> bool:
+        """Would admitting ``query`` keep the system out of overload?
+
+        Uses the *estimated* memory demand (the only pre-execution
+        signal a real server has) against the current headroom, plus
+        the current state classification.
+        """
+        snapshot = self.estimate(engine)
+        if snapshot.state is SystemState.OVERLOADED:
+            return False
+        projected = (
+            engine.buffer_pool.committed_mb + query.estimated_cost.memory_mb
+        ) / max(engine.machine.memory_mb, 1e-9)
+        return projected <= self.overload_memory
+
+
+class CapacityAwareAdmission(AdmissionController):
+    """Admission driven by the capacity estimate instead of manual knobs.
+
+    Low-priority requests are delayed while the system is overloaded or
+    while their memory demand would push it there; requests at or above
+    ``protected_priority`` pass (the §2.3 asymmetry).
+    """
+
+    TECHNIQUE_FEATURES = frozenset(
+        {
+            Feature.ACTS_AT_ARRIVAL,
+            Feature.USES_THRESHOLDS,
+            Feature.THRESHOLD_ON_MONITOR_METRICS,
+        }
+    )
+
+    def __init__(
+        self,
+        estimator: Optional[CapacityEstimator] = None,
+        protected_priority: int = 3,
+    ) -> None:
+        self.estimator = estimator or CapacityEstimator()
+        self.protected_priority = protected_priority
+        self.delays = 0
+
+    def decide(self, query: Query, context: ManagerContext) -> AdmissionDecision:
+        if query.priority >= self.protected_priority:
+            return AdmissionDecision.accept("protected priority")
+        if self.estimator.fits(context.engine, query):
+            snapshot = self.estimator.estimate(context.engine)
+            return AdmissionDecision.accept(
+                f"fits ({snapshot.state.value}, "
+                f"headroom {snapshot.memory_headroom_mb:.0f}MB)"
+            )
+        self.delays += 1
+        snapshot = self.estimator.estimate(context.engine)
+        return AdmissionDecision.delay(
+            f"insufficient capacity ({snapshot.state.value}, "
+            f"subscription {snapshot.memory_subscription:.2f})"
+        )

@@ -1,0 +1,154 @@
+"""Plug-in interfaces between the WorkloadManager and its controllers.
+
+The manager implements the three-stage process of §2 (identify →
+control → execute); every technique package plugs into one of four
+sockets defined here:
+
+* :class:`Characterizer` — workload identification (§2.2, §3.1);
+* :class:`AdmissionController` — the admission decision (§3.2);
+* :class:`Scheduler` — wait-queue management and dispatch (§3.3);
+* :class:`ExecutionController` — run-time control actions (§3.4).
+
+Controllers receive a :class:`ManagerContext` giving them monitored
+access to the engine, metrics, SLAs and policy — the same information a
+commercial facility's components share.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.metrics import MetricsCollector
+from repro.core.policy import WorkloadManagementPolicy
+from repro.core.sla import SLASet
+from repro.engine.executor import ExecutionEngine
+from repro.engine.query import Query
+from repro.engine.sessions import SessionRegistry
+from repro.engine.simulator import Simulator
+from repro.workloads.traces import QueryLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.manager import WorkloadManager
+
+
+class AdmissionOutcome(enum.Enum):
+    """The possible fates of an arriving request (§2.3)."""
+
+    ACCEPT = "accept"      # pass to the scheduler's wait queue(s)
+    REJECT = "reject"      # deny with a returned message
+    DELAY = "delay"        # hold back; re-evaluated on the next pump
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome plus the reason used in logs/experiments."""
+
+    outcome: AdmissionOutcome
+    reason: str = ""
+
+    @staticmethod
+    def accept(reason: str = "") -> "AdmissionDecision":
+        return AdmissionDecision(AdmissionOutcome.ACCEPT, reason)
+
+    @staticmethod
+    def reject(reason: str = "") -> "AdmissionDecision":
+        return AdmissionDecision(AdmissionOutcome.REJECT, reason)
+
+    @staticmethod
+    def delay(reason: str = "") -> "AdmissionDecision":
+        return AdmissionDecision(AdmissionOutcome.DELAY, reason)
+
+
+@dataclass
+class ManagerContext:
+    """Shared state handed to every controller."""
+
+    sim: Simulator
+    engine: ExecutionEngine
+    metrics: MetricsCollector
+    slas: SLASet
+    policy: WorkloadManagementPolicy
+    sessions: SessionRegistry
+    query_log: QueryLog
+    manager: Optional["WorkloadManager"] = None
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def importance_of(self, workload: Optional[str], default: int = 1) -> int:
+        """Business importance for a workload (SLA, else default)."""
+        return self.slas.importance_of(workload, default=default)
+
+
+class Characterizer(abc.ABC):
+    """Maps an arriving request to a workload (identification stage)."""
+
+    @abc.abstractmethod
+    def identify(self, query: Query, context: ManagerContext) -> Optional[str]:
+        """Return the workload name for ``query`` (None = unclassified).
+
+        Implementations may also set ``query.priority`` and
+        ``query.service_class`` as commercial facilities do.
+        """
+
+    def attach(self, context: ManagerContext) -> None:
+        """Called once when plugged into a manager (optional override)."""
+
+
+class AdmissionController(abc.ABC):
+    """Decides whether an identified request may enter the system."""
+
+    @abc.abstractmethod
+    def decide(self, query: Query, context: ManagerContext) -> AdmissionDecision:
+        """Evaluate an arriving request."""
+
+    def notify_exit(self, query: Query, context: ManagerContext) -> None:
+        """Observe a request leaving the engine (for feedback schemes)."""
+
+    def attach(self, context: ManagerContext) -> None:
+        """Called once when plugged into a manager (optional override)."""
+
+
+class Scheduler(abc.ABC):
+    """Owns the wait queue(s) and decides what runs when (§3.3)."""
+
+    @abc.abstractmethod
+    def enqueue(self, query: Query, context: ManagerContext) -> None:
+        """Accept a request into the wait queue(s)."""
+
+    @abc.abstractmethod
+    def next_batch(self, context: ManagerContext) -> List[Query]:
+        """Queries to dispatch *now*, in order; [] when none should run.
+
+        Called after every admission, completion and control tick; the
+        scheduler enforces its MPLs by returning an empty list.
+        """
+
+    @abc.abstractmethod
+    def queued_count(self) -> int:
+        """Requests currently waiting."""
+
+    def remove(self, query_id: int) -> Optional[Query]:
+        """Withdraw a queued request (kill-in-queue); None if absent."""
+        return None
+
+    def attach(self, context: ManagerContext) -> None:
+        """Called once when plugged into a manager (optional override)."""
+
+
+class ExecutionController(abc.ABC):
+    """Applies run-time control actions to running requests (§3.4)."""
+
+    @abc.abstractmethod
+    def control(self, context: ManagerContext) -> None:
+        """Inspect running work and act; called every control interval."""
+
+    def notify_exit(self, query: Query, context: ManagerContext) -> None:
+        """Observe a request leaving the engine (optional override)."""
+
+    def attach(self, context: ManagerContext) -> None:
+        """Called once when plugged into a manager (optional override)."""

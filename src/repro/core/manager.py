@@ -1,0 +1,379 @@
+"""The WorkloadManager: identify → control → execute, with monitoring.
+
+This is the integration point of the whole library — the equivalent of
+DB2 Workload Manager / SQL Server Resource Governor / Teradata ASM in
+our simulated server.  Arriving queries are identified (characterizer),
+subjected to admission control, queued and dispatched by a scheduler,
+run on the execution engine with priority-derived fair-share weights,
+and supervised by execution controllers on a periodic control tick.
+
+Every stage is pluggable through the interfaces in
+:mod:`repro.core.interfaces`; the defaults (tag characterizer,
+accept-all admission, FCFS dispatch with an optional MPL) make an
+unconfigured manager behave like a plain DBMS with no workload
+management — the baseline of every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.interfaces import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionOutcome,
+    Characterizer,
+    ExecutionController,
+    ManagerContext,
+    Scheduler,
+)
+from repro.core.metrics import MetricsCollector, SystemSample
+from repro.core.policy import WorkloadManagementPolicy
+from repro.core.sla import SLASet
+from repro.engine.executor import CompletionOutcome, EngineConfig, ExecutionEngine
+from repro.engine.query import Query, QueryState
+from repro.engine.resources import MachineSpec, ResourceKind
+from repro.engine.sessions import SessionRegistry
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.workloads.traces import QueryLog
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Registration of a workload known to the manager."""
+
+    name: str
+    priority: int = 1
+
+
+class TagCharacterizer(Characterizer):
+    """Default identification: parse the generator's ``workload:class`` tag.
+
+    Real identification techniques live in :mod:`repro.characterization`;
+    the tag characterizer makes an unconfigured manager usable and is
+    also the "oracle" identifier experiments use when identification is
+    not the variable under study.
+    """
+
+    def identify(self, query: Query, context: ManagerContext) -> Optional[str]:
+        if query.workload_name:
+            return query.workload_name
+        if ":" in query.sql:
+            return query.sql.split(":", 1)[0]
+        return None
+
+
+class AcceptAllAdmission(AdmissionController):
+    """No admission control (the paper's uncontrolled baseline)."""
+
+    def decide(self, query: Query, context: ManagerContext) -> AdmissionDecision:
+        return AdmissionDecision.accept("no admission control")
+
+
+class FCFSDispatcher(Scheduler):
+    """First-come-first-served dispatch with an optional global MPL.
+
+    ``max_concurrency=None`` dispatches everything immediately — the
+    fully uncontrolled baseline that exhibits thrashing under load.
+    """
+
+    def __init__(self, max_concurrency: Optional[int] = None) -> None:
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be >= 1 or None")
+        self.max_concurrency = max_concurrency
+        self._queue: List[Query] = []
+
+    def enqueue(self, query: Query, context: ManagerContext) -> None:
+        self._queue.append(query)
+
+    def next_batch(self, context: ManagerContext) -> List[Query]:
+        batch: List[Query] = []
+        running = context.engine.running_count
+        while self._queue:
+            if (
+                self.max_concurrency is not None
+                and running + len(batch) >= self.max_concurrency
+            ):
+                break
+            batch.append(self._queue.pop(0))
+        return batch
+
+    def queued_count(self) -> int:
+        return len(self._queue)
+
+    def queued_queries(self) -> List[Query]:
+        """Snapshot of the wait queue (consumed by monitors/controllers)."""
+        return list(self._queue)
+
+    def remove(self, query_id: int) -> Optional[Query]:
+        for index, query in enumerate(self._queue):
+            if query.query_id == query_id:
+                return self._queue.pop(index)
+        return None
+
+
+WeightFn = Callable[[Query], float]
+CompletionListener = Callable[[Query], None]
+
+
+class WorkloadManager:
+    """Front end of the simulated database server.
+
+    Parameters
+    ----------
+    sim:
+        The simulator everything is scheduled on.
+    machine, engine_config:
+        Forwarded to a fresh :class:`ExecutionEngine` unless ``engine``
+        is given.
+    characterizer, admission, scheduler, execution_controllers:
+        The pluggable stages; all optional (see class docstring).
+    slas, policy:
+        Server-level objectives and management policy.
+    control_period:
+        Seconds between execution-control/monitor ticks.
+    weight_fn:
+        Maps a dispatched query to its fair-share weight; the default
+        uses the query's business priority.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Optional[MachineSpec] = None,
+        engine: Optional[ExecutionEngine] = None,
+        engine_config: Optional[EngineConfig] = None,
+        characterizer: Optional[Characterizer] = None,
+        admission: Optional[AdmissionController] = None,
+        scheduler: Optional[Scheduler] = None,
+        execution_controllers: Sequence[ExecutionController] = (),
+        slas: Optional[SLASet] = None,
+        policy: Optional[WorkloadManagementPolicy] = None,
+        control_period: float = 1.0,
+        weight_fn: Optional[WeightFn] = None,
+    ) -> None:
+        self.sim = sim
+        self.engine = engine or ExecutionEngine(sim, machine, engine_config)
+        self.metrics = MetricsCollector()
+        self.query_log = QueryLog()
+        self.sessions = SessionRegistry()
+        self.slas = slas or SLASet()
+        self.policy = policy or WorkloadManagementPolicy()
+        self.characterizer = characterizer or TagCharacterizer()
+        self.admission = admission or AcceptAllAdmission()
+        self.scheduler = scheduler or FCFSDispatcher()
+        self.execution_controllers = list(execution_controllers)
+        self.weight_fn = weight_fn or (lambda q: float(max(q.priority, 1)))
+        self.control_period = control_period
+
+        self.context = ManagerContext(
+            sim=sim,
+            engine=self.engine,
+            metrics=self.metrics,
+            slas=self.slas,
+            policy=self.policy,
+            sessions=self.sessions,
+            query_log=self.query_log,
+            manager=self,
+        )
+        self._workloads: Dict[str, WorkloadInfo] = {}
+        self._delayed: List[Query] = []
+        self._listeners: List[CompletionListener] = []
+        self._pumping = False
+        self.submitted_count = 0
+        self.rejected_count = 0
+
+        self.engine.on_exit(self._on_engine_exit)
+        for stage in (self.characterizer, self.admission, self.scheduler):
+            stage.attach(self.context)
+        for controller in self.execution_controllers:
+            controller.attach(self.context)
+        self._ticker = sim.schedule_periodic(
+            control_period, self._tick, label="manager:tick"
+        )
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def register_workload(self, name: str, priority: int = 1) -> None:
+        """Declare a workload so its priority is known at identification."""
+        self._workloads[name] = WorkloadInfo(name=name, priority=priority)
+
+    def workload_priority(self, name: Optional[str]) -> int:
+        if name and name in self._workloads:
+            return self._workloads[name].priority
+        sla = self.slas.get(name)
+        return sla.importance if sla else 1
+
+    def add_execution_controller(self, controller: ExecutionController) -> None:
+        controller.attach(self.context)
+        self.execution_controllers.append(controller)
+
+    def add_completion_listener(self, listener: CompletionListener) -> None:
+        """Called for every client-visible terminal outcome."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> AdmissionDecision:
+        """A request arrives at the database server."""
+        query.transition(QueryState.SUBMITTED)
+        if query.submit_time is None:
+            query.submit_time = self.sim.now
+        self.submitted_count += 1
+
+        workload = self.characterizer.identify(query, self.context)
+        if workload is not None:
+            query.workload_name = workload
+            registered = self._workloads.get(workload)
+            if registered is not None:
+                query.priority = registered.priority
+            else:
+                sla = self.slas.get(workload)
+                if sla is not None:
+                    query.priority = sla.importance
+
+        decision = self.admission.decide(query, self.context)
+        if decision.outcome is AdmissionOutcome.REJECT:
+            query.transition(QueryState.REJECTED)
+            query.end_time = self.sim.now
+            self.rejected_count += 1
+            self.metrics.record_rejection(query)
+            self.query_log.record_query(query)
+            self._notify(query)
+        elif decision.outcome is AdmissionOutcome.DELAY:
+            query.transition(QueryState.QUEUED)
+            self._delayed.append(query)
+        else:
+            query.transition(QueryState.QUEUED)
+            self.scheduler.enqueue(query, self.context)
+            self.pump()
+        return decision
+
+    def resubmit(self, query: Query, delay: float = 0.0) -> None:
+        """Schedule a killed/aborted query to re-enter the server."""
+        self.sim.schedule(delay, lambda: self.submit(query), label="resubmit")
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Drain the scheduler's dispatchable requests into the engine."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            for _ in range(10_000):  # safety bound against livelock
+                batch = self.scheduler.next_batch(self.context)
+                if not batch:
+                    break
+                for query in batch:
+                    self.engine.start(query, weight=self.weight_fn(query))
+        finally:
+            self._pumping = False
+
+    def _retry_delayed(self) -> None:
+        if not self._delayed:
+            return
+        pending, self._delayed = self._delayed, []
+        for query in pending:
+            decision = self.admission.decide(query, self.context)
+            if decision.outcome is AdmissionOutcome.REJECT:
+                query.transition(QueryState.REJECTED)
+                query.end_time = self.sim.now
+                self.rejected_count += 1
+                self.metrics.record_rejection(query)
+                self.query_log.record_query(query)
+                self._notify(query)
+            elif decision.outcome is AdmissionOutcome.DELAY:
+                self._delayed.append(query)
+            else:
+                self.scheduler.enqueue(query, self.context)
+                # Dispatch immediately so the next decision in this
+                # sweep sees the updated running count — otherwise an
+                # MPL gate would admit the whole backlog at once.
+                self.pump()
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # engine feedback
+    # ------------------------------------------------------------------
+    def _on_engine_exit(self, query: Query, outcome: CompletionOutcome) -> None:
+        if outcome is CompletionOutcome.COMPLETED:
+            self.metrics.record_completion(query, self.sim.now)
+            self.query_log.record_query(query)
+            self._notify(query)
+        elif outcome is CompletionOutcome.KILLED:
+            self.metrics.record_kill(query)
+            self.query_log.record_query(query)
+            self._notify(query)
+        elif outcome is CompletionOutcome.ABORTED:
+            self.metrics.record_abort(query)
+            backoff = 0.05 * (2 ** min(query.restarts, 6))
+            query.restarts += 1
+            self.resubmit(query, delay=backoff)
+        elif outcome is CompletionOutcome.SUSPENDED:
+            self.metrics.record_suspension(query)
+        self.admission.notify_exit(query, self.context)
+        for controller in self.execution_controllers:
+            controller.notify_exit(query, self.context)
+        # Retry DELAYed admissions immediately: a departure is exactly
+        # when an MPL/indicator gate may reopen.
+        self._retry_delayed()
+        self.pump()
+
+    def _notify(self, query: Query) -> None:
+        for listener in list(self._listeners):
+            listener(query)
+
+    # ------------------------------------------------------------------
+    # periodic control tick
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        sample = SystemSample(
+            time=self.sim.now,
+            cpu_utilization=self.engine.utilization(ResourceKind.CPU),
+            disk_utilization=self.engine.utilization(ResourceKind.DISK),
+            memory_pressure=self.engine.memory_pressure(),
+            conflict_ratio=self.engine.conflict_ratio(),
+            running=self.engine.running_count,
+            queued=self.queued_count,
+        )
+        self.metrics.record_sample(sample)
+        for controller in self.execution_controllers:
+            controller.control(self.context)
+        self._retry_delayed()
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # introspection / teardown
+    # ------------------------------------------------------------------
+    @property
+    def queued_count(self) -> int:
+        return self.scheduler.queued_count() + len(self._delayed)
+
+    @property
+    def running_count(self) -> int:
+        return self.engine.running_count
+
+    def outstanding_work(self) -> int:
+        return self.queued_count + self.running_count
+
+    def shutdown(self) -> None:
+        """Stop the periodic tick so the simulator can drain."""
+        self._ticker.stop()
+
+    def run(self, horizon: float, drain: float = 0.0) -> None:
+        """Run the simulation to ``horizon`` plus a drain window.
+
+        The observation ends at ``horizon + drain``: work still running
+        then stays unfinished (and unrecorded), exactly as a real
+        measurement window would leave it.  A fixed endpoint also
+        guarantees termination even though controllers keep periodic
+        processes armed.
+        """
+        self.sim.run_until(horizon + drain)
+        self.shutdown()

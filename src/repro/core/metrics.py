@@ -1,0 +1,201 @@
+"""Performance-metric collection for workloads and the system.
+
+Monitoring is the third stage of every surveyed facility (DB2's
+*monitoring* stage, SQL Server's performance counters, Teradata
+Manager's dashboards).  The :class:`MetricsCollector` is the library's
+equivalent: it accumulates per-workload outcome statistics (response
+times, throughput, velocity, rejections, kills, SLA attainment inputs)
+and time-stamped system samples (utilization, memory pressure, conflict
+ratio) that indicator-based controls consume.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.sla import ObjectiveKind, ServiceLevelAgreement, SLASet
+from repro.engine.query import Query
+
+
+@dataclass
+class WorkloadStats:
+    """Accumulated outcomes for one workload."""
+
+    workload: str
+    completions: int = 0
+    rejections: int = 0
+    kills: int = 0
+    aborts: int = 0
+    suspensions: int = 0
+    response_times: List[float] = field(default_factory=list)
+    queue_delays: List[float] = field(default_factory=list)
+    velocities: List[float] = field(default_factory=list)
+    completion_times: List[float] = field(default_factory=list)  # sorted
+
+    # ------------------------------------------------------------------
+    def mean_response_time(self) -> Optional[float]:
+        if not self.response_times:
+            return None
+        return float(np.mean(self.response_times))
+
+    def percentile_response_time(self, percentile: float) -> Optional[float]:
+        if not self.response_times:
+            return None
+        return float(np.percentile(self.response_times, percentile))
+
+    def mean_velocity(self) -> Optional[float]:
+        if not self.velocities:
+            return None
+        return float(np.mean(self.velocities))
+
+    def mean_queue_delay(self) -> Optional[float]:
+        if not self.queue_delays:
+            return None
+        return float(np.mean(self.queue_delays))
+
+    def throughput(self, window: float, now: float) -> float:
+        """Completions per second over the trailing ``window`` seconds."""
+        if window <= 0 or now <= 0:
+            return 0.0
+        start = max(0.0, now - window)
+        # completion_times is kept sorted; count items in (start, now]
+        lo = bisect.bisect_right(self.completion_times, start)
+        return (len(self.completion_times) - lo) / min(window, now)
+
+    def overall_throughput(self, now: float) -> float:
+        return self.completions / now if now > 0 else 0.0
+
+    def measurements(
+        self, now: float, percentile: float = 95.0, window: float = 60.0
+    ) -> Dict[ObjectiveKind, Optional[float]]:
+        """Measurement map consumed by :meth:`ServiceLevelAgreement.evaluate`."""
+        return {
+            ObjectiveKind.AVERAGE_RESPONSE_TIME: self.mean_response_time(),
+            ObjectiveKind.PERCENTILE_RESPONSE_TIME: self.percentile_response_time(
+                percentile
+            ),
+            ObjectiveKind.THROUGHPUT: self.overall_throughput(now),
+            ObjectiveKind.VELOCITY: self.mean_velocity(),
+        }
+
+
+@dataclass(frozen=True)
+class SystemSample:
+    """One monitor observation of system-level state."""
+
+    time: float
+    cpu_utilization: float
+    disk_utilization: float
+    memory_pressure: float
+    conflict_ratio: float
+    running: int
+    queued: int
+
+
+class MetricsCollector:
+    """Accumulates workload outcomes and system samples."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, WorkloadStats] = {}
+        self._samples: List[SystemSample] = []
+
+    # ------------------------------------------------------------------
+    # per-workload outcomes
+    # ------------------------------------------------------------------
+    def stats_for(self, workload: Optional[str]) -> WorkloadStats:
+        name = workload or "<unassigned>"
+        if name not in self._stats:
+            self._stats[name] = WorkloadStats(workload=name)
+        return self._stats[name]
+
+    def workloads(self) -> List[str]:
+        return list(self._stats)
+
+    def record_completion(self, query: Query, now: float) -> None:
+        stats = self.stats_for(query.workload_name)
+        stats.completions += 1
+        if query.response_time is not None:
+            stats.response_times.append(query.response_time)
+        if query.queueing_delay is not None:
+            stats.queue_delays.append(query.queueing_delay)
+        velocity = query.execution_velocity(now)
+        if velocity is not None:
+            stats.velocities.append(velocity)
+        bisect.insort(stats.completion_times, now)
+
+    def record_rejection(self, query: Query) -> None:
+        self.stats_for(query.workload_name).rejections += 1
+
+    def record_kill(self, query: Query) -> None:
+        self.stats_for(query.workload_name).kills += 1
+
+    def record_abort(self, query: Query) -> None:
+        self.stats_for(query.workload_name).aborts += 1
+
+    def record_suspension(self, query: Query) -> None:
+        self.stats_for(query.workload_name).suspensions += 1
+
+    # ------------------------------------------------------------------
+    # system samples
+    # ------------------------------------------------------------------
+    def record_sample(self, sample: SystemSample) -> None:
+        self._samples.append(sample)
+
+    def samples(self, since: float = 0.0) -> List[SystemSample]:
+        return [s for s in self._samples if s.time >= since]
+
+    def latest_sample(self) -> Optional[SystemSample]:
+        return self._samples[-1] if self._samples else None
+
+    # ------------------------------------------------------------------
+    # SLA evaluation
+    # ------------------------------------------------------------------
+    def evaluate_sla(
+        self, sla: ServiceLevelAgreement, now: float
+    ) -> Mapping[ObjectiveKind, Optional[float]]:
+        """Measurements for ``sla``'s workload (pass to ``sla.evaluate``)."""
+        stats = self.stats_for(sla.workload)
+        percentile = 95.0
+        for objective in sla.objectives:
+            if objective.percentile is not None:
+                percentile = objective.percentile
+        return stats.measurements(now, percentile=percentile)
+
+    def attainment(self, slas: SLASet, now: float) -> Dict[str, float]:
+        """Fraction of objectives met per workload (1.0 = all met).
+
+        Workloads with no data count as attainment 0 for goal-ful SLAs:
+        if nothing completed, the goals were certainly not met.
+        """
+        out: Dict[str, float] = {}
+        for sla in slas:
+            if not sla.has_goals:
+                continue
+            results = sla.evaluate(self.evaluate_sla(sla, now))
+            met = sum(1 for r in results if r.satisfied)
+            out[sla.workload] = met / len(results)
+        return out
+
+    def summary_line(self, workload: str, now: float) -> str:
+        """Human-readable one-liner used by examples and reports."""
+        stats = self.stats_for(workload)
+        parts = [
+            f"{workload}: n={stats.completions}",
+            f"rej={stats.rejections}",
+            f"kill={stats.kills}",
+        ]
+        mean_rt = stats.mean_response_time()
+        if mean_rt is not None:
+            parts.append(f"rt_avg={mean_rt:.3f}s")
+        p95 = stats.percentile_response_time(95.0)
+        if p95 is not None:
+            parts.append(f"rt_p95={p95:.3f}s")
+        velocity = stats.mean_velocity()
+        if velocity is not None:
+            parts.append(f"vel={velocity:.2f}")
+        parts.append(f"xput={stats.overall_throughput(now):.2f}/s")
+        return " ".join(parts)

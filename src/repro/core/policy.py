@@ -1,0 +1,216 @@
+"""Workload-management policies and the three control types (Table 1).
+
+"Policies are the plans of an organization to achieve its objectives"
+(§2.1): admission policies say how a request is controlled at arrival,
+scheduling policies guide ordering/dispatch, and execution-control
+policies define dynamic run-time actions.  This module provides those
+policy objects, the threshold/action vocabulary the commercial systems
+share (DB2 thresholds, Teradata exception criteria, SQL Server query
+governor), and the :class:`ControlType` descriptors that regenerate
+Table 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PolicyError
+
+
+class ControlType(enum.Enum):
+    """The three types of controls in a workload-management process."""
+
+    ADMISSION_CONTROL = "Admission Control"
+    SCHEDULING = "Scheduling"
+    EXECUTION_CONTROL = "Execution Control"
+
+    @property
+    def description(self) -> str:
+        return _CONTROL_DESCRIPTIONS[self][0]
+
+    @property
+    def control_point(self) -> str:
+        return _CONTROL_DESCRIPTIONS[self][1]
+
+    @property
+    def associated_policy(self) -> str:
+        return _CONTROL_DESCRIPTIONS[self][2]
+
+
+_CONTROL_DESCRIPTIONS: Dict[ControlType, Tuple[str, str, str]] = {
+    ControlType.ADMISSION_CONTROL: (
+        "Determines whether or not an arriving request can be admitted "
+        "into a database system",
+        "Upon arrival in the database system",
+        "Admission control policies derived from a workload management policy",
+    ),
+    ControlType.SCHEDULING: (
+        "Determines the execution order of requests in batch workloads "
+        "or in wait queues",
+        "Prior to sending requests to the database execution engine",
+        "Scheduling policies derived from a workload management policy",
+    ),
+    ControlType.EXECUTION_CONTROL: (
+        "Manages the execution of running requests to reduce their "
+        "performance impact on the other requests running concurrently",
+        "During execution of the requests",
+        "Execution control policies derived from a workload management policy",
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# thresholds and actions (the shared vocabulary of §2.3/§4.1)
+# ----------------------------------------------------------------------
+class ThresholdKind(enum.Enum):
+    """What a threshold is measured against."""
+
+    ESTIMATED_COST = "estimated_cost"          # optimizer total work (s)
+    ESTIMATED_ROWS = "estimated_rows"          # optimizer cardinality
+    ELAPSED_TIME = "elapsed_time"              # run time so far (s)
+    ROWS_RETURNED = "rows_returned"            # actual rows produced
+    CPU_TIME = "cpu_time"                      # CPU service consumed (s)
+    CONCURRENCY = "concurrency"                # running requests (MPL)
+    QUEUE_LENGTH = "queue_length"
+    MEMORY_MB = "memory_mb"
+
+
+class ThresholdAction(enum.Enum):
+    """What to do when a threshold is violated (DB2's action list + the
+    taxonomy's execution-control repertoire)."""
+
+    REJECT = "reject"
+    QUEUE = "queue"
+    CONTINUE = "continue"              # collect data, let it run
+    STOP_EXECUTION = "stop_execution"  # kill
+    KILL_AND_RESUBMIT = "kill_and_resubmit"
+    DEMOTE = "demote"                  # priority aging: lower service class
+    THROTTLE = "throttle"
+    SUSPEND = "suspend"
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """An upper limit on some quantity, with an action on violation."""
+
+    kind: ThresholdKind
+    limit: float
+    action: ThresholdAction
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise PolicyError(f"threshold limit must be >= 0, got {self.limit}")
+
+    def violated_by(self, value: Optional[float]) -> bool:
+        """True when ``value`` exceeds the limit (None never violates)."""
+        if value is None:
+            return False
+        return value > self.limit
+
+    def describe(self) -> str:
+        name = self.label or self.kind.value
+        return f"{name} > {self.limit:g} -> {self.action.value}"
+
+
+@dataclass(frozen=True)
+class ExecutionRule:
+    """A run-time rule: threshold + the action's parameters.
+
+    ``throttle_factor`` applies to THROTTLE actions; ``demote_to`` names
+    the target service class for DEMOTE; ``resubmit_delay`` applies to
+    KILL_AND_RESUBMIT.
+    """
+
+    threshold: Threshold
+    throttle_factor: float = 0.25
+    demote_to: Optional[str] = None
+    resubmit_delay: float = 30.0
+    applies_to_workloads: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, workload: Optional[str]) -> bool:
+        if self.applies_to_workloads is None:
+            return True
+        return workload in self.applies_to_workloads
+
+
+# ----------------------------------------------------------------------
+# policy bundles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission thresholds for one workload (or the whole server).
+
+    ``reject_over_cost`` and ``queue_over_cost`` are estimated-cost
+    limits; ``max_concurrency`` is the MPL; ``queue_when_full`` selects
+    queueing (True) vs. rejection (False) at the MPL limit; the optional
+    ``period_overrides`` map (start, end) time-of-day windows (in
+    simulated seconds within a day) to alternate cost limits, per §3.2's
+    "different thresholds for various operating periods".
+    """
+
+    reject_over_cost: Optional[float] = None
+    queue_over_cost: Optional[float] = None
+    max_concurrency: Optional[int] = None
+    queue_when_full: bool = True
+    period_overrides: Tuple[Tuple[float, float, float], ...] = ()
+    day_length: float = 86_400.0
+
+    def cost_limit_at(self, time: float) -> Optional[float]:
+        """The effective rejection cost limit at simulated ``time``."""
+        limit = self.reject_over_cost
+        if self.period_overrides:
+            time_of_day = time % self.day_length
+            for start, end, override in self.period_overrides:
+                if start <= time_of_day < end:
+                    limit = override
+        return limit
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """How queued requests are ordered and released."""
+
+    discipline: str = "fcfs"            # fcfs | priority | sjf | utility
+    max_concurrency: Optional[int] = None
+    per_workload_concurrency: Tuple[Tuple[str, int], ...] = ()
+
+    def workload_limit(self, workload: Optional[str]) -> Optional[int]:
+        for name, limit in self.per_workload_concurrency:
+            if name == workload:
+                return limit
+        return None
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Run-time rules applied by execution controllers."""
+
+    rules: Tuple[ExecutionRule, ...] = ()
+
+    def rules_for(self, workload: Optional[str]) -> List[ExecutionRule]:
+        return [rule for rule in self.rules if rule.applies_to(workload)]
+
+
+@dataclass(frozen=True)
+class WorkloadManagementPolicy:
+    """The full policy of a server: per-workload and default controls.
+
+    This is the object Table 1's "associated policy" column refers to —
+    admission, scheduling and execution policies are *derived from* a
+    workload-management policy.
+    """
+
+    name: str = "default"
+    default_admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    admission_by_workload: Tuple[Tuple[str, AdmissionPolicy], ...] = ()
+    scheduling: SchedulingPolicy = field(default_factory=SchedulingPolicy)
+    execution: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+
+    def admission_for(self, workload: Optional[str]) -> AdmissionPolicy:
+        for name, policy in self.admission_by_workload:
+            if name == workload:
+                return policy
+        return self.default_admission

@@ -1,0 +1,274 @@
+"""The taxonomy of workload-management techniques (paper Figure 1).
+
+The taxonomy is the paper's central contribution.  We encode it as an
+immutable tree of :class:`TaxonomyNode` values so that the rest of the
+library can *compute* with it: the classification engine
+(:mod:`repro.core.classify`) assigns technique descriptors to leaves,
+the reporting package renders the tree, and tests assert structural
+invariants (four major classes, the subsonic splits of §3).
+
+Figure 1 structure::
+
+    Workload Management Techniques
+    ├── Workload Characterization
+    │   ├── Static Characterization
+    │   └── Dynamic Characterization
+    ├── Admission Control
+    │   ├── Threshold-based
+    │   └── Prediction-based
+    ├── Scheduling
+    │   ├── Queue Management
+    │   └── Query Restructuring
+    └── Execution Control
+        ├── Query Reprioritization
+        ├── Query Cancellation
+        └── Request Suspension
+            ├── Request Throttling
+            └── Query Suspend-and-Resume
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+
+class TechniqueClass(enum.Enum):
+    """Stable identifiers for every node of the taxonomy.
+
+    The enum value is the node's display name as used in the paper.
+    """
+
+    ROOT = "Workload Management Techniques"
+    # major classes (§3)
+    WORKLOAD_CHARACTERIZATION = "Workload Characterization"
+    ADMISSION_CONTROL = "Admission Control"
+    SCHEDULING = "Scheduling"
+    EXECUTION_CONTROL = "Execution Control"
+    # characterization subclasses (§3.1)
+    STATIC_CHARACTERIZATION = "Static Characterization"
+    DYNAMIC_CHARACTERIZATION = "Dynamic Characterization"
+    # admission subclasses (§3.2)
+    THRESHOLD_BASED_ADMISSION = "Threshold-based Admission Control"
+    PREDICTION_BASED_ADMISSION = "Prediction-based Admission Control"
+    # scheduling subclasses (§3.3)
+    QUEUE_MANAGEMENT = "Queue Management"
+    QUERY_RESTRUCTURING = "Query Restructuring"
+    # execution-control subclasses (§3.4)
+    QUERY_REPRIORITIZATION = "Query Reprioritization"
+    QUERY_CANCELLATION = "Query Cancellation"
+    REQUEST_SUSPENSION = "Request Suspension"
+    REQUEST_THROTTLING = "Request Throttling"
+    SUSPEND_AND_RESUME = "Query Suspend-and-Resume"
+
+    @property
+    def display_name(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TaxonomyNode:
+    """One class in the taxonomy tree."""
+
+    technique_class: TechniqueClass
+    description: str
+    paper_section: str
+    children: Tuple["TaxonomyNode", ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self.technique_class.display_name
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def walk(self) -> Iterator["TaxonomyNode"]:
+        """Depth-first traversal, self first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, technique_class: TechniqueClass) -> Optional["TaxonomyNode"]:
+        """Locate a node anywhere under this one."""
+        for node in self.walk():
+            if node.technique_class is technique_class:
+                return node
+        return None
+
+    def path_to(self, technique_class: TechniqueClass) -> List["TaxonomyNode"]:
+        """Root-to-node path, or [] if absent."""
+        if self.technique_class is technique_class:
+            return [self]
+        for child in self.children:
+            below = child.path_to(technique_class)
+            if below:
+                return [self] + below
+        return []
+
+    def leaves(self) -> List["TaxonomyNode"]:
+        return [node for node in self.walk() if node.is_leaf]
+
+    def depth_of(self, technique_class: TechniqueClass) -> int:
+        """0 for this node, -1 if not present."""
+        path = self.path_to(technique_class)
+        return len(path) - 1 if path else -1
+
+
+def build_taxonomy() -> TaxonomyNode:
+    """Construct the Figure 1 taxonomy tree."""
+    characterization = TaxonomyNode(
+        TechniqueClass.WORKLOAD_CHARACTERIZATION,
+        "Identifying characteristic classes of a workload in the context "
+        "of its properties (costs, resource demands, priorities, "
+        "performance requirements).",
+        "3.1",
+        children=(
+            TaxonomyNode(
+                TechniqueClass.STATIC_CHARACTERIZATION,
+                "Workloads are defined before requests arrive; arriving "
+                "requests are differentiated by operational properties and "
+                "mapped to workloads with resources allocated by priority.",
+                "3.1",
+            ),
+            TaxonomyNode(
+                TechniqueClass.DYNAMIC_CHARACTERIZATION,
+                "The type of a workload is identified while it is present "
+                "on the server, typically with a machine-learned classifier "
+                "built from sample workloads.",
+                "3.1",
+            ),
+        ),
+    )
+    admission = TaxonomyNode(
+        TechniqueClass.ADMISSION_CONTROL,
+        "Determines whether or not newly arriving requests can be admitted "
+        "into the database system.",
+        "3.2",
+        children=(
+            TaxonomyNode(
+                TechniqueClass.THRESHOLD_BASED_ADMISSION,
+                "An arriving query is admitted only under the upper limit "
+                "of a threshold: a system parameter (query cost, MPL) or a "
+                "performance/monitor metric (conflict ratio, throughput, "
+                "indicators).",
+                "3.2",
+            ),
+            TaxonomyNode(
+                TechniqueClass.PREDICTION_BASED_ADMISSION,
+                "Performance behaviour of a query is predicted before it "
+                "runs using machine-learned models over pre-execution "
+                "properties.",
+                "3.2",
+            ),
+        ),
+    )
+    scheduling = TaxonomyNode(
+        TechniqueClass.SCHEDULING,
+        "Sends requests to the execution engine in an order that meets "
+        "performance objectives while keeping the system in a normal "
+        "(optimal) state.",
+        "3.3",
+        children=(
+            TaxonomyNode(
+                TechniqueClass.QUEUE_MANAGEMENT,
+                "Execution order of queued requests is determined from "
+                "properties (resource demands, priorities, objectives) via "
+                "scheduling policies, utility/rank functions, and dynamic "
+                "MPL prediction (queueing models, feedback controllers).",
+                "3.3",
+            ),
+            TaxonomyNode(
+                TechniqueClass.QUERY_RESTRUCTURING,
+                "A query is decomposed into a series of smaller queries or "
+                "sub-plans scheduled individually, so short queries are not "
+                "stuck behind large ones.",
+                "3.3",
+            ),
+        ),
+    )
+    suspension = TaxonomyNode(
+        TechniqueClass.REQUEST_SUSPENSION,
+        "Slowing down a request's execution.",
+        "3.4",
+        children=(
+            TaxonomyNode(
+                TechniqueClass.REQUEST_THROTTLING,
+                "The running request's process is paused for certain times "
+                "(self-imposed sleep), freeing resources without "
+                "terminating it.",
+                "3.4",
+            ),
+            TaxonomyNode(
+                TechniqueClass.SUSPEND_AND_RESUME,
+                "A running query is terminated with its intermediate state "
+                "stored, and restarted later from the suspend point.",
+                "3.4",
+            ),
+        ),
+    )
+    execution = TaxonomyNode(
+        TechniqueClass.EXECUTION_CONTROL,
+        "Manages the execution of running requests to reduce their "
+        "performance impact on concurrently running requests.",
+        "3.4",
+        children=(
+            TaxonomyNode(
+                TechniqueClass.QUERY_REPRIORITIZATION,
+                "Dynamically adjusting the priority of a query as it runs, "
+                "causing resource reallocation (priority aging, "
+                "importance-policy-driven allocation).",
+                "3.4",
+            ),
+            TaxonomyNode(
+                TechniqueClass.QUERY_CANCELLATION,
+                "Killing the process of a running query, immediately "
+                "releasing the resources it used.",
+                "3.4",
+            ),
+            suspension,
+        ),
+    )
+    return TaxonomyNode(
+        TechniqueClass.ROOT,
+        "Techniques for monitoring and controlling work executing on a "
+        "database system to use resources efficiently and meet "
+        "per-workload performance objectives.",
+        "3",
+        children=(characterization, admission, scheduling, execution),
+    )
+
+
+#: Singleton taxonomy tree, the library-wide reference for Figure 1.
+TAXONOMY: TaxonomyNode = build_taxonomy()
+
+
+def major_classes() -> List[TaxonomyNode]:
+    """The four major technique classes (the paper's first split)."""
+    return list(TAXONOMY.children)
+
+
+def node_for(technique_class: TechniqueClass) -> TaxonomyNode:
+    """Look up a node in the singleton taxonomy."""
+    node = TAXONOMY.find(technique_class)
+    if node is None:  # unreachable while enum and tree agree
+        raise KeyError(technique_class)
+    return node
+
+
+def render_tree(root: Optional[TaxonomyNode] = None) -> str:
+    """ASCII rendering of the taxonomy (Figure 1)."""
+    root = root or TAXONOMY
+    lines: List[str] = [root.name]
+
+    def _render(node: TaxonomyNode, prefix: str) -> None:
+        for index, child in enumerate(node.children):
+            last = index == len(node.children) - 1
+            connector = "└── " if last else "├── "
+            lines.append(prefix + connector + child.name)
+            extension = "    " if last else "│   "
+            _render(child, prefix + extension)
+
+    _render(root, "")
+    return "\n".join(lines)

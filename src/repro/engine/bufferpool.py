@@ -1,0 +1,66 @@
+"""Buffer pool / working-memory model.
+
+Queries reserve working memory (sort heaps, hash tables) for their whole
+run.  While total reservations fit in the pool, I/O demand is the cost
+vector's nominal value.  Once the pool is oversubscribed, operators spill
+to disk: effective I/O demand inflates with the oversubscription ratio.
+
+This single mechanism produces the *thrashing knee* of Denning [16] and
+Carey et al. [7] that motivates MPL-based admission control (paper
+§3.2): throughput rises with concurrency until memory oversubscription
+makes every query's I/O superlinear, after which throughput falls
+"dramatically".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable
+
+
+@dataclass
+class BufferPool:
+    """Working-memory pool with spill-based I/O inflation.
+
+    Parameters
+    ----------
+    capacity_mb:
+        Total working memory available to concurrently running queries.
+    spill_penalty:
+        How steeply I/O inflates with oversubscription.  With pressure
+        ``p = committed/capacity`` and ``p > 1``, every running query's
+        I/O demand is multiplied by ``1 + spill_penalty * (p - 1)``.
+    """
+
+    capacity_mb: float
+    spill_penalty: float = 3.0
+    _committed: Dict[Hashable, float] = field(default_factory=dict)
+
+    def reserve(self, key: Hashable, memory_mb: float) -> None:
+        """Reserve working memory for a query entering the engine."""
+        self._committed[key] = max(0.0, memory_mb)
+
+    def release(self, key: Hashable) -> None:
+        """Release a query's reservation (idempotent)."""
+        self._committed.pop(key, None)
+
+    @property
+    def committed_mb(self) -> float:
+        """Total memory currently reserved."""
+        return sum(self._committed.values())
+
+    @property
+    def pressure(self) -> float:
+        """Committed-to-capacity ratio; > 1 means oversubscribed."""
+        if self.capacity_mb <= 0:
+            return float("inf") if self._committed else 0.0
+        return self.committed_mb / self.capacity_mb
+
+    def io_inflation(self) -> float:
+        """Multiplier applied to every running query's I/O demand."""
+        overflow = max(0.0, self.pressure - 1.0)
+        return 1.0 + self.spill_penalty * overflow
+
+    def reset(self) -> None:
+        """Drop all reservations (between experiment repetitions)."""
+        self._committed.clear()

@@ -1,0 +1,401 @@
+"""The execution engine: runs admitted queries on shared resources.
+
+The engine is a fluid-flow simulation of concurrent query execution.
+Every running query advances a progress variable from 0 to 1 at a speed
+determined by weighted max-min fair resource sharing
+(:mod:`repro.engine.resources`), inflated I/O under memory pressure
+(:mod:`repro.engine.bufferpool`), and lock waits
+(:mod:`repro.engine.locks`).  Speeds are recomputed at every state
+change — admission, completion, kill, pause, weight change, lock event —
+and the next milestone (a completion or a lock-acquisition point) is
+scheduled on the simulator.
+
+Everything execution control needs is a first-class operation here:
+
+* ``set_weight``     — query reprioritization / priority aging / economic
+  resource allocation change the weight;
+* ``set_throttle``   — request throttling caps the speed (0 pauses);
+* ``kill``           — query cancellation;
+* ``remove_suspended`` — suspend-and-resume checkpoints then evicts;
+* automatic wait-die aborts surface as ``ABORTED`` outcomes so policies
+  can resubmit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.locks import LockManager, LockOutcome
+from repro.engine.query import Query, QueryState
+from repro.engine.resources import (
+    MachineSpec,
+    Resource,
+    ResourceKind,
+    ShareRequest,
+    allocate_fair_shares,
+)
+from repro.engine.simulator import Simulator
+from repro.errors import QueryStateError
+
+
+class CompletionOutcome(enum.Enum):
+    """Why a query left the engine."""
+
+    COMPLETED = "completed"
+    KILLED = "killed"
+    ABORTED = "aborted"       # wait-die victim; policies usually resubmit
+    SUSPENDED = "suspended"
+
+
+CompletionCallback = Callable[[Query, CompletionOutcome], None]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the execution engine.
+
+    ``hot_set_size`` is the number of lockable items (smaller = more
+    contention); ``spill_penalty`` is forwarded to the buffer pool;
+    ``max_parallelism`` is the per-query ceiling on resource units,
+    i.e. intra-query parallelism (1.0 = a query can at most keep one
+    core and one disk unit busy).
+    """
+
+    hot_set_size: int = 1000
+    spill_penalty: float = 3.0
+    max_parallelism: float = 1.0
+
+
+@dataclass
+class _Running:
+    query: Query
+    weight: float
+    throttle: float = 1.0            # 1 = full speed, 0 = paused
+    blocked: bool = False
+    speed: float = 0.0
+    lock_points: Sequence[float] = ()
+    next_lock: int = 0
+    last_sync: float = 0.0
+
+    def next_milestone(self) -> float:
+        """Progress value of the next interesting point (lock or done)."""
+        if self.next_lock < len(self.lock_points):
+            return self.lock_points[self.next_lock]
+        return 1.0
+
+
+class ExecutionEngine:
+    """Concurrent query execution over a simulated machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Optional[MachineSpec] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine or MachineSpec()
+        self.config = config or EngineConfig()
+        self.buffer_pool = BufferPool(
+            capacity_mb=self.machine.memory_mb,
+            spill_penalty=self.config.spill_penalty,
+        )
+        self.lock_manager = LockManager(
+            num_items=self.config.hot_set_size, rng=sim.rng("locks")
+        )
+        self.resources = {
+            kind: Resource(kind=kind, capacity=cap)
+            for kind, cap in self.machine.rate_capacities().items()
+        }
+        self._running: Dict[int, _Running] = {}
+        self._callbacks: List[CompletionCallback] = []
+        self._milestone_handle = None
+        self.completed_count = 0
+        self.killed_count = 0
+        self.aborted_count = 0
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def on_exit(self, callback: CompletionCallback) -> None:
+        """Register a callback fired whenever a query leaves the engine."""
+        self._callbacks.append(callback)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    def running_ids(self) -> List[int]:
+        return list(self._running.keys())
+
+    def running_queries(self) -> List[Query]:
+        return [entry.query for entry in self._running.values()]
+
+    def is_running(self, query_id: int) -> bool:
+        return query_id in self._running
+
+    def progress_of(self, query_id: int) -> float:
+        self._sync_all()
+        return self._entry(query_id).query.progress
+
+    def speed_of(self, query_id: int) -> float:
+        return self._entry(query_id).speed
+
+    def weight_of(self, query_id: int) -> float:
+        return self._entry(query_id).weight
+
+    def throttle_of(self, query_id: int) -> float:
+        return self._entry(query_id).throttle
+
+    def conflict_ratio(self) -> float:
+        return self.lock_manager.conflict_ratio()
+
+    def memory_pressure(self) -> float:
+        return self.buffer_pool.pressure
+
+    def utilization(self, kind: ResourceKind) -> float:
+        """Instantaneous utilization (0..1) of a rate resource."""
+        resource = self.resources[kind]
+        return resource.instantaneous_usage / resource.capacity
+
+    # ------------------------------------------------------------------
+    # lifecycle operations
+    # ------------------------------------------------------------------
+    def start(self, query: Query, weight: float = 1.0) -> None:
+        """Begin executing ``query`` with the given fair-share weight."""
+        if query.query_id in self._running:
+            raise QueryStateError(f"query {query.query_id} is already running")
+        self._sync_all()
+        query.transition(QueryState.RUNNING)
+        if query.start_time is None:
+            query.start_time = self.sim.now
+        self.buffer_pool.reserve(query.query_id, query.true_cost.memory_mb)
+        lock_points: Sequence[float] = ()
+        if query.true_cost.lock_count > 0:
+            lock_points = self.lock_manager.register(
+                query.query_id, query.true_cost.lock_count, self.sim.now
+            )
+        entry = _Running(
+            query=query,
+            weight=max(weight, 1e-9),
+            lock_points=[p for p in lock_points if p > query.progress],
+            last_sync=self.sim.now,
+        )
+        self._running[query.query_id] = entry
+        # Sub-nanosecond demands complete instantly; without the epsilon
+        # a denormal demand overflows the speed-cap division below.
+        if query.true_cost.nominal_duration <= 1e-9:
+            self._finish(entry, CompletionOutcome.COMPLETED)
+            return
+        self._reallocate()
+
+    def kill(self, query_id: int) -> Query:
+        """Cancel a running query, releasing its resources immediately."""
+        self._sync_all()
+        entry = self._entry(query_id)
+        self._finish(entry, CompletionOutcome.KILLED)
+        return entry.query
+
+    def remove_suspended(self, query_id: int) -> Query:
+        """Evict a query for suspension; caller owns checkpoint costs."""
+        self._sync_all()
+        entry = self._entry(query_id)
+        self._finish(entry, CompletionOutcome.SUSPENDED)
+        return entry.query
+
+    def set_weight(self, query_id: int, weight: float) -> None:
+        """Change a query's fair-share weight (reprioritization)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        self._sync_all()
+        self._entry(query_id).weight = weight
+        self._reallocate()
+
+    def set_throttle(self, query_id: int, factor: float) -> None:
+        """Cap a query's speed at ``factor`` of full speed (0 pauses it)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"throttle factor must be in [0,1], got {factor}")
+        self._sync_all()
+        self._entry(query_id).throttle = factor
+        self._reallocate()
+
+    def pause(self, query_id: int) -> None:
+        """Convenience for ``set_throttle(query_id, 0.0)``."""
+        self.set_throttle(query_id, 0.0)
+
+    def resume(self, query_id: int) -> None:
+        """Convenience for ``set_throttle(query_id, 1.0)``."""
+        self.set_throttle(query_id, 1.0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _entry(self, query_id: int) -> _Running:
+        entry = self._running.get(query_id)
+        if entry is None:
+            raise QueryStateError(f"query {query_id} is not running")
+        return entry
+
+    def _sync_all(self) -> None:
+        """Advance every running query's progress to the current time."""
+        now = self.sim.now
+        for entry in self._running.values():
+            dt = now - entry.last_sync
+            if dt > 0 and entry.speed > 0:
+                entry.query.progress = min(
+                    1.0, entry.query.progress + entry.speed * dt
+                )
+            entry.last_sync = now
+
+    def _effective_demands(self, entry: _Running) -> Dict[ResourceKind, float]:
+        cost = entry.query.true_cost
+        remaining = 1.0 - entry.query.progress
+        if remaining <= 0:
+            return {}
+        inflation = self.buffer_pool.io_inflation()
+        return {
+            ResourceKind.CPU: cost.cpu_seconds,
+            ResourceKind.DISK: cost.io_seconds * inflation,
+        }
+
+    def _reallocate(self) -> None:
+        """Recompute speeds and (re)schedule the next milestone event."""
+        requests = []
+        for entry in self._running.values():
+            demands = self._effective_demands(entry)
+            bottleneck = max(demands.values(), default=0.0)
+            if bottleneck <= 1e-9:
+                # vanishing remaining demand: mark done so the milestone
+                # reaper completes it rather than dividing by ~zero
+                entry.query.progress = 1.0
+                continue
+            paused = entry.blocked or entry.throttle <= 0
+            cap = 0.0 if paused else (
+                entry.throttle * self.config.max_parallelism / bottleneck
+            )
+            requests.append(
+                ShareRequest(
+                    key=entry.query.query_id,
+                    # Divide by the bottleneck demand so equal business
+                    # weights mean equal *resource* shares, not equal
+                    # progress speeds (see resources.py docstring).
+                    weight=entry.weight / bottleneck,
+                    demands=demands,
+                    speed_cap=cap,
+                )
+            )
+        allocations = allocate_fair_shares(
+            requests, self.machine.rate_capacities()
+        )
+        usage_totals = {kind: 0.0 for kind in self.resources}
+        for entry in self._running.values():
+            alloc = allocations.get(entry.query.query_id)
+            entry.speed = alloc.speed if alloc else 0.0
+            if alloc:
+                for kind, used in alloc.usage.items():
+                    usage_totals[kind] = usage_totals.get(kind, 0.0) + used
+        for kind, resource in self.resources.items():
+            resource.record(self.sim.now, usage_totals.get(kind, 0.0))
+        self._schedule_next_milestone()
+
+    def _schedule_next_milestone(self) -> None:
+        if self._milestone_handle is not None:
+            self._milestone_handle.cancel()
+            self._milestone_handle = None
+        best_time = None
+        best_id = None
+        for entry in self._running.values():
+            done = (
+                entry.query.progress >= 1.0 - 1e-12
+                and entry.next_lock >= len(entry.lock_points)
+            )
+            if done:
+                # Finished during a sync triggered by someone else's event;
+                # reap it via an immediate milestone of its own.
+                best_time, best_id = self.sim.now, entry.query.query_id
+                break
+            if entry.speed <= 0:
+                continue
+            gap = entry.next_milestone() - entry.query.progress
+            eta = self.sim.now + max(gap, 0.0) / entry.speed
+            if best_time is None or eta < best_time:
+                best_time, best_id = eta, entry.query.query_id
+        if best_id is not None:
+            self._milestone_handle = self.sim.schedule_at(
+                best_time,
+                lambda qid=best_id: self._on_milestone(qid),
+                label=f"milestone:q{best_id}",
+            )
+
+    def _on_milestone(self, query_id: int) -> None:
+        self._milestone_handle = None
+        entry = self._running.get(query_id)
+        if entry is None:  # left the engine since scheduling
+            self._sync_all()
+            self._reallocate()
+            return
+        self._sync_all()
+        milestone = entry.next_milestone()
+        if entry.query.progress >= milestone - 1e-9:
+            entry.query.progress = max(entry.query.progress, milestone)
+            if entry.next_lock < len(entry.lock_points):
+                self._acquire_next_lock(entry)
+                return
+            if entry.query.progress >= 1.0 - 1e-12:
+                self._finish(entry, CompletionOutcome.COMPLETED)
+                return
+        self._reallocate()
+
+    def _acquire_next_lock(self, entry: _Running) -> None:
+        outcome = self.lock_manager.try_acquire(
+            entry.query.query_id, entry.next_lock
+        )
+        if outcome is LockOutcome.GRANTED:
+            entry.next_lock += 1
+            self._reallocate()
+        elif outcome is LockOutcome.WAIT:
+            entry.blocked = True
+            entry.query.transition(QueryState.BLOCKED)
+            self._reallocate()
+        else:  # DIE: wait-die victim, abort and let policies resubmit
+            self._finish(entry, CompletionOutcome.ABORTED)
+
+    def _finish(self, entry: _Running, outcome: CompletionOutcome) -> None:
+        query = entry.query
+        self._running.pop(query.query_id, None)
+        self.buffer_pool.release(query.query_id)
+        woken = self.lock_manager.release_all(query.query_id)
+        if outcome is CompletionOutcome.COMPLETED:
+            query.progress = 1.0
+            query.end_time = self.sim.now
+            query.transition(QueryState.COMPLETED)
+            self.completed_count += 1
+        elif outcome is CompletionOutcome.KILLED:
+            if query.state is QueryState.BLOCKED:
+                query.transition(QueryState.RUNNING)
+            query.end_time = self.sim.now
+            query.transition(QueryState.KILLED)
+            self.killed_count += 1
+        elif outcome is CompletionOutcome.ABORTED:
+            if query.state is QueryState.BLOCKED:
+                query.transition(QueryState.RUNNING)
+            query.transition(QueryState.ABORTED)
+            query.progress = 0.0
+            self.aborted_count += 1
+        elif outcome is CompletionOutcome.SUSPENDED:
+            if query.state is QueryState.BLOCKED:
+                query.transition(QueryState.RUNNING)
+            query.transition(QueryState.SUSPENDED)
+            query.suspend_count += 1
+        for woken_id in woken:
+            woken_entry = self._running.get(woken_id)
+            if woken_entry is not None and woken_entry.blocked:
+                woken_entry.blocked = False
+                woken_entry.query.transition(QueryState.RUNNING)
+                woken_entry.next_lock += 1
+        self._reallocate()
+        for callback in list(self._callbacks):
+            callback(query, outcome)

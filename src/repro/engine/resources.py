@@ -1,0 +1,230 @@
+"""Shared-resource model: weighted max-min fair processor sharing.
+
+The simulated database machine exposes two rate resources (CPU and disk
+I/O) and one space resource (memory).  Running queries share the rate
+resources by *weighted max-min fairness with progressive filling*: every
+query's speed grows in proportion to its weight until either a resource
+saturates (freezing everything that uses it) or the query hits its own
+speed cap (it cannot run faster than its unloaded speed, scaled by any
+throttle applied to it).
+
+This is the allocation discipline that makes the surveyed controls
+meaningful: reprioritization changes a query's *weight*, throttling
+changes its *speed cap*, admission/MPL changes *who participates*, and
+memory oversubscription inflates I/O demand (see
+:mod:`repro.engine.bufferpool`), producing the classic thrashing knee.
+
+Speed normalization
+-------------------
+A query with cost vector ``(cpu=c, io=d)`` alone on the machine overlaps
+CPU and I/O, finishing in ``max(c, d)`` seconds — speed ``1.0``.  Speed
+``s`` consumes ``s·c`` CPU server-units and ``s·d`` disk server-units
+per second and finishes in ``max(c, d)/s`` seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.errors import CapacityError
+
+
+class ResourceKind(enum.Enum):
+    """The shared resources of the simulated database server."""
+
+    CPU = "cpu"
+    DISK = "disk"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Capacity of the simulated database server.
+
+    ``cpu_capacity`` is in cores, ``disk_capacity`` in parallel device
+    units (each unit serves one second of I/O demand per second), and
+    ``memory_mb`` is working memory available to queries before the
+    buffer pool starts spilling.
+    """
+
+    cpu_capacity: float = 8.0
+    disk_capacity: float = 4.0
+    memory_mb: float = 16_384.0
+
+    def __post_init__(self) -> None:
+        if min(self.cpu_capacity, self.disk_capacity, self.memory_mb) <= 0:
+            raise CapacityError("machine capacities must be positive")
+
+    def rate_capacities(self) -> Dict[ResourceKind, float]:
+        """Capacities of the rate-shared resources only."""
+        return {
+            ResourceKind.CPU: self.cpu_capacity,
+            ResourceKind.DISK: self.disk_capacity,
+        }
+
+
+@dataclass
+class ShareRequest:
+    """One query's claim in a fair-share allocation round.
+
+    ``demands`` maps a rate resource to the server-seconds of service per
+    unit of query progress (i.e. the cost-vector seconds, possibly
+    inflated by buffer-pool spill).  ``speed_cap`` bounds the achievable
+    speed (1.0 = unloaded speed; a throttle of 50% halves it; a paused
+    query has cap 0).
+    """
+
+    key: Hashable
+    weight: float
+    demands: Mapping[ResourceKind, float]
+    speed_cap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"weight must be >= 0, got {self.weight}")
+        if self.speed_cap < 0:
+            raise ValueError(f"speed_cap must be >= 0, got {self.speed_cap}")
+
+    @property
+    def bottleneck_demand(self) -> float:
+        """The largest per-progress demand (determines unloaded duration)."""
+        return max(self.demands.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of a fair-share round for one request."""
+
+    speed: float
+    usage: Mapping[ResourceKind, float]
+
+
+def allocate_fair_shares(
+    requests: Iterable[ShareRequest],
+    capacities: Mapping[ResourceKind, float],
+) -> Dict[Hashable, Allocation]:
+    """Weighted max-min fair allocation by progressive filling.
+
+    Returns, for every request, the progress speed it receives and its
+    per-resource usage (server-units).  Guarantees:
+
+    * no resource is used beyond its capacity (within float tolerance);
+    * no request exceeds its ``speed_cap``;
+    * the allocation is weighted max-min fair: a request's speed can only
+      be below ``cap`` if some resource it uses is saturated, and at that
+      saturation speeds are proportional to weights.
+    """
+    requests = list(requests)
+    speeds: Dict[Hashable, float] = {}
+    # Requests that demand nothing run at their cap (completed instantly
+    # by the executor); zero-weight or zero-cap requests get speed 0.
+    active: List[ShareRequest] = []
+    for req in requests:
+        positive = {k: v for k, v in req.demands.items() if v > 0}
+        if not positive or req.weight == 0 or req.speed_cap == 0:
+            speeds[req.key] = req.speed_cap if not positive and req.weight > 0 else 0.0
+            continue
+        active.append(ShareRequest(req.key, req.weight, positive, req.speed_cap))
+        speeds[req.key] = 0.0
+
+    headroom = {kind: float(cap) for kind, cap in capacities.items()}
+    remaining = list(active)
+
+    # Progressive filling: in each round grow all remaining speeds by
+    # dt * weight, where dt is chosen so exactly one constraint binds.
+    for _round in range(2 * len(active) + 2):
+        if not remaining:
+            break
+        # Usage growth per unit dt on each resource.
+        growth: Dict[ResourceKind, float] = {}
+        for req in remaining:
+            for kind, demand in req.demands.items():
+                growth[kind] = growth.get(kind, 0.0) + req.weight * demand
+
+        dt_best = float("inf")
+        binding_resource = None
+        binding_request = None
+        for kind, rate in growth.items():
+            if rate <= 0:
+                continue
+            dt = headroom.get(kind, 0.0) / rate
+            if dt < dt_best - 1e-15:
+                dt_best, binding_resource, binding_request = dt, kind, None
+        for req in remaining:
+            dt = (req.speed_cap - speeds[req.key]) / req.weight
+            if dt < dt_best - 1e-15:
+                dt_best, binding_resource, binding_request = dt, None, req
+
+        dt_best = max(dt_best, 0.0)
+        for req in remaining:
+            grow = dt_best * req.weight
+            speeds[req.key] += grow
+            for kind, demand in req.demands.items():
+                headroom[kind] = headroom.get(kind, 0.0) - grow * demand
+
+        if binding_request is not None:
+            remaining = [r for r in remaining if r.key != binding_request.key]
+        elif binding_resource is not None:
+            remaining = [r for r in remaining if binding_resource not in r.demands]
+        else:  # all caps reached simultaneously
+            break
+
+    allocations: Dict[Hashable, Allocation] = {}
+    for req in requests:
+        speed = speeds.get(req.key, 0.0)
+        usage = {kind: speed * demand for kind, demand in req.demands.items() if demand > 0}
+        allocations[req.key] = Allocation(speed=speed, usage=usage)
+    return allocations
+
+
+@dataclass
+class Resource:
+    """Utilization bookkeeping for one rate resource.
+
+    The executor reports usage after every reallocation; this class
+    integrates usage over time so monitors can read average utilization
+    in a window — one of the "monitor metrics" indicator approaches
+    (Table 2, [79][80]) consume.
+    """
+
+    kind: ResourceKind
+    capacity: float
+    _last_time: float = 0.0
+    _last_usage: float = 0.0
+    _busy_integral: float = 0.0
+    _window_marks: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, now: float, usage: float) -> None:
+        """Report that ``usage`` server-units are in use from ``now`` on."""
+        self._busy_integral += self._last_usage * (now - self._last_time)
+        self._last_time = now
+        self._last_usage = min(usage, self.capacity)
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Average utilization (0..1) over ``[since, now]``."""
+        if now <= since:
+            return self._last_usage / self.capacity if self.capacity else 0.0
+        integral = self._busy_integral + self._last_usage * (now - self._last_time)
+        if since > 0.0:
+            # Subtract the portion before `since` using a linear rewind of
+            # the recorded marks; for simplicity we track from marks.
+            integral -= self._integral_until(since)
+        return max(0.0, min(1.0, integral / (self.capacity * (now - since))))
+
+    def mark(self, now: float) -> None:
+        """Record a window boundary so ``utilization(since=mark)`` is exact."""
+        integral = self._busy_integral + self._last_usage * (now - self._last_time)
+        self._window_marks.append((now, integral))
+
+    def _integral_until(self, time: float) -> float:
+        best = 0.0
+        for mark_time, integral in self._window_marks:
+            if mark_time <= time + 1e-12:
+                best = integral
+        return best
+
+    @property
+    def instantaneous_usage(self) -> float:
+        return self._last_usage

@@ -1,0 +1,238 @@
+"""Discrete-event simulation core: clock, event queue and RNG streams.
+
+The :class:`Simulator` owns simulated time.  Components schedule callbacks
+at absolute times or after delays; the simulator fires them in time order
+with deterministic FIFO tie-breaking (events scheduled earlier run first
+when times are equal).  Periodic processes — monitors, controllers,
+arrival generators — are built from the same primitive via
+:meth:`Simulator.schedule_periodic`.
+
+Determinism rules used throughout the library:
+
+* no wall-clock reads — time only advances through the event loop;
+* all randomness comes from named, seeded :class:`numpy.random.Generator`
+  streams obtained via :meth:`Simulator.rng`, so adding a new random
+  consumer does not perturb existing streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` which gives deterministic FIFO
+    ordering among events scheduled for the same instant.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None]
+    label: str = ""
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+@dataclass
+class _EventHandle:
+    """Mutable cancellation token returned by :meth:`Simulator.schedule`."""
+
+    event: Event
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the event's action from running when it is dequeued."""
+        self.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self.event.time
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named stream handed out by :meth:`rng` is
+        derived from it with :func:`numpy.random.SeedSequence.spawn`-style
+        hashing, so two simulators built with the same seed produce
+        identical behaviour.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._now = 0.0
+        self._queue: List[Tuple[Event, _EventHandle]] = []
+        self._seq = itertools.count()
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self._running = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (useful for run-cost stats)."""
+        return self._events_fired
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    def rng(self, stream: str) -> np.random.Generator:
+        """Return the named random stream, creating it on first use.
+
+        Streams are independent of one another and stable across runs:
+        the generator for a given ``(seed, stream)`` pair is always
+        identical.
+        """
+        if stream not in self._rngs:
+            # zlib.crc32 is stable across processes (unlike built-in str
+            # hashing, which is salted), keeping streams reproducible.
+            seed_seq = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(zlib.crc32(stream.encode("utf-8")),)
+            )
+            self._rngs[stream] = np.random.Generator(np.random.PCG64(seed_seq))
+        return self._rngs[stream]
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, time: float, action: Callable[[], None], label: str = ""
+    ) -> _EventHandle:
+        """Schedule ``action`` to run at absolute simulated ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f} in the past (now={self._now:.6f})"
+            )
+        event = Event(time=max(time, self._now), seq=next(self._seq), action=action, label=label)
+        handle = _EventHandle(event=event)
+        heapq.heappush(self._queue, (event, handle))
+        return handle
+
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> _EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, action, label=label)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        action: Callable[[], None],
+        start: Optional[float] = None,
+        label: str = "",
+    ) -> "_PeriodicProcess":
+        """Run ``action`` every ``period`` seconds until stopped.
+
+        The first firing happens at ``start`` (defaults to ``now +
+        period``).  Returns a :class:`_PeriodicProcess` whose ``stop()``
+        halts future firings.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        process = _PeriodicProcess(self, period, action, label)
+        first = (self._now + period) if start is None else start
+        process._arm(first)
+        return process
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._queue:
+            event, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.action()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> None:
+        """Run events until simulated ``time`` (inclusive of events at it)."""
+        fired = 0
+        while self._queue:
+            event, handle = self._queue[0]
+            if event.time > time:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.action()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"run_until({time}) exceeded max_events={max_events}; "
+                    "possible event storm"
+                )
+        self._now = max(self._now, time)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains (or ``max_events`` fire)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise SimulationError(
+                    f"run() exceeded max_events={max_events}; possible event storm"
+                )
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for _, handle in self._queue if not handle.cancelled)
+
+
+@dataclass
+class _PeriodicProcess:
+    """A repeating event created by :meth:`Simulator.schedule_periodic`."""
+
+    sim: Simulator
+    period: float
+    action: Callable[[], None]
+    label: str = ""
+    _stopped: bool = field(default=False, init=False)
+    _handle: Optional[_EventHandle] = field(default=None, init=False)
+
+    def _arm(self, time: float) -> None:
+        if self._stopped:
+            return
+        self._handle = self.sim.schedule_at(time, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.action()
+        self._arm(self.sim.now + self.period)
+
+    def stop(self) -> None:
+        """Stop future firings (a firing already underway completes)."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

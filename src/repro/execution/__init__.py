@@ -1,0 +1,67 @@
+"""Execution-control techniques (paper §3.4, Table 3).
+
+One module per surveyed approach:
+
+* :mod:`repro.execution.reprioritization` — priority aging via
+  service-class demotion (DB2-style) [9];
+* :mod:`repro.execution.economic` — importance-policy-driven resource
+  allocation with economic models [4][46][78];
+* :mod:`repro.execution.cancellation` — query kill and
+  kill-and-resubmit [30][39][50][61][72];
+* :mod:`repro.execution.krompass` — the fuzzy-logic execution
+  controller of Krompass et al. choosing among reprioritize / kill /
+  kill-and-resubmit [39];
+* :mod:`repro.execution.suspend_resume` — suspend-and-resume with
+  per-operator checkpoints, DumpState/GoBack and optimal suspend plans
+  [10][12];
+* :mod:`repro.execution.throttling` — utility and query throttling with
+  PI / step / black-box controllers, constant and interrupt methods
+  [64][65][66];
+* :mod:`repro.execution.progress` — query progress indicators
+  [11][41][43][45][55].
+"""
+
+from repro.execution.progress import (
+    ProgressIndicator,
+    SpeedAwareProgressIndicator,
+    OperatorBoundaryProgressIndicator,
+    OptimizerCostProgressIndicator,
+)
+from repro.execution.reprioritization import (
+    PriorityAgingController,
+    ServiceClassLadder,
+)
+from repro.execution.economic import EconomicResourceAllocator
+from repro.execution.cancellation import QueryKillController, KillRule
+from repro.execution.krompass import FuzzyExecutionController
+from repro.execution.suspend_resume import (
+    SuspendResumeController,
+    SuspendStrategy,
+    SuspendPlan,
+    plan_suspension,
+)
+from repro.execution.throttling import (
+    UtilityThrottlingController,
+    QueryThrottlingController,
+    ThrottleMethod,
+)
+
+__all__ = [
+    "ProgressIndicator",
+    "SpeedAwareProgressIndicator",
+    "OperatorBoundaryProgressIndicator",
+    "OptimizerCostProgressIndicator",
+    "PriorityAgingController",
+    "ServiceClassLadder",
+    "EconomicResourceAllocator",
+    "QueryKillController",
+    "KillRule",
+    "FuzzyExecutionController",
+    "SuspendResumeController",
+    "SuspendStrategy",
+    "SuspendPlan",
+    "plan_suspension",
+    "UtilityThrottlingController",
+    "QueryThrottlingController",
+    "ThrottleMethod",
+]

@@ -1,0 +1,21 @@
+"""Minimal from-scratch ML used by the surveyed learning techniques.
+
+The paper's dynamic workload characterization (§3.1, [19][73]) and
+prediction-based admission control (§3.2, [21][23][42]) rely on simple
+supervised learners — decision trees and statistical classifiers.  We
+implement them here from scratch (no sklearn in the environment):
+
+* :mod:`repro.ml.tree` — CART decision trees (classification and
+  regression), the learner behind PQR [23];
+* :mod:`repro.ml.naive_bayes` — Gaussian naive Bayes, the lightweight
+  classifier used for workload-type identification [19].
+"""
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.naive_bayes import GaussianNaiveBayes
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GaussianNaiveBayes",
+]

@@ -1,0 +1,89 @@
+"""Gaussian naive Bayes classifier, from scratch.
+
+Elnaffar et al.'s workload classifier [19] learns "the characteristics
+of sample workloads running on a database server, builds a workload
+classifier and uses [it] to dynamically identify unknown arriving
+workloads" (paper §3.1).  Gaussian NB over window-aggregate features is
+the lightweight end of that family; the decision tree in
+:mod:`repro.ml.tree` is the heavier alternative, and
+:mod:`repro.characterization.dynamic` exposes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class _ClassStats:
+    prior: float
+    mean: np.ndarray
+    var: np.ndarray
+
+
+class GaussianNaiveBayes:
+    """NB with per-class Gaussian feature likelihoods.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance to
+    every variance, keeping log-likelihoods finite for constant features.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+        self._classes: Dict[object, _ClassStats] = {}
+        self.n_features: int = 0
+
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence) -> "GaussianNaiveBayes":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y) or len(y) == 0:
+            raise ValueError("X must be 2-D and aligned with non-empty y")
+        self.n_features = X.shape[1]
+        self._classes = {}
+        epsilon = self.var_smoothing * float(np.max(np.var(X, axis=0), initial=1.0))
+        for label in np.unique(y):
+            rows = X[y == label]
+            self._classes[label] = _ClassStats(
+                prior=len(rows) / len(y),
+                mean=rows.mean(axis=0),
+                var=rows.var(axis=0) + max(epsilon, 1e-12),
+            )
+        return self
+
+    def _log_posterior(self, row: np.ndarray) -> Dict[object, float]:
+        scores: Dict[object, float] = {}
+        for label, stats in self._classes.items():
+            log_likelihood = -0.5 * np.sum(
+                np.log(2.0 * np.pi * stats.var)
+                + (row - stats.mean) ** 2 / stats.var
+            )
+            scores[label] = float(np.log(stats.prior) + log_likelihood)
+        return scores
+
+    def predict_one(self, row: Sequence[float]):
+        if not self._classes:
+            raise RuntimeError("classifier is not fitted")
+        scores = self._log_posterior(np.asarray(row, dtype=float))
+        return max(scores, key=scores.get)
+
+    def predict(self, X: Sequence[Sequence[float]]) -> List[object]:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return [self.predict_one(row) for row in X]
+
+    def predict_proba_one(self, row: Sequence[float]) -> Dict[object, float]:
+        """Normalized posterior probabilities for one sample."""
+        scores = self._log_posterior(np.asarray(row, dtype=float))
+        peak = max(scores.values())
+        exp = {label: np.exp(s - peak) for label, s in scores.items()}
+        total = sum(exp.values())
+        return {label: float(v / total) for label, v in exp.items()}
+
+    def accuracy(self, X: Sequence[Sequence[float]], y: Sequence) -> float:
+        predictions = self.predict(X)
+        y = list(y)
+        return sum(p == t for p, t in zip(predictions, y)) / len(y)

@@ -1,0 +1,179 @@
+"""CART decision trees (classification and regression), from scratch.
+
+Gupta et al.'s PQR approach [23] "builds a decision tree based on a
+training set of queries, and uses the decision tree to predict ranges of
+the new query's execution time" (paper §3.2).  These trees are the
+learner behind :mod:`repro.admission.prediction` and one of the two
+classifiers in :mod:`repro.characterization.dynamic`.
+
+The implementation is a plain binary CART: exhaustive search over
+midpoint splits, Gini impurity for classification and variance
+reduction for regression, depth/size stopping rules.  It is deliberately
+simple — the experiments need faithful behaviour, not SOTA accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: Optional[object] = None      # leaf payload
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class _BaseTree:
+    """Shared CART machinery."""
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 4) -> None:
+        if max_depth < 1 or min_samples_leaf < 1:
+            raise ValueError("max_depth and min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_Node] = None
+        self.n_features: int = 0
+
+    def fit(self, X: Sequence[Sequence[float]], y: Sequence) -> "_BaseTree":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2 or len(X) != len(y) or len(y) == 0:
+            raise ValueError("X must be 2-D and aligned with non-empty y")
+        self.n_features = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or self._is_pure(y)
+        ):
+            return _Node(value=self._leaf_value(y))
+        split = self._best_split(X, y)
+        if split is None:
+            return _Node(value=self._leaf_value(y))
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._build(X[mask], y[mask], depth + 1),
+            right=self._build(X[~mask], y[~mask], depth + 1),
+        )
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        best_score = self._impurity(y)
+        best: Optional[Tuple[int, float]] = None
+        n = len(y)
+        for feature in range(X.shape[1]):
+            values = X[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_y = y[order]
+            # candidate thresholds at value changes
+            changes = np.nonzero(np.diff(sorted_values) > 1e-12)[0]
+            for index in changes:
+                left_count = index + 1
+                if (
+                    left_count < self.min_samples_leaf
+                    or n - left_count < self.min_samples_leaf
+                ):
+                    continue
+                threshold = (sorted_values[index] + sorted_values[index + 1]) / 2
+                score = (
+                    left_count / n * self._impurity(sorted_y[:left_count])
+                    + (n - left_count) / n * self._impurity(sorted_y[left_count:])
+                )
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (feature, float(threshold))
+        return best
+
+    def _predict_one(self, row: np.ndarray) -> object:
+        node = self._root
+        if node is None:
+            raise RuntimeError("tree is not fitted")
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def predict(self, X: Sequence[Sequence[float]]) -> List[object]:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return [self._predict_one(row) for row in X]
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    # --- subclass hooks -------------------------------------------------
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _leaf_value(self, y: np.ndarray):
+        raise NotImplementedError
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        raise NotImplementedError
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART with Gini impurity; leaves predict the majority label."""
+
+    def _impurity(self, y: np.ndarray) -> float:
+        _, counts = np.unique(y, return_counts=True)
+        p = counts / counts.sum()
+        return float(1.0 - np.sum(p * p))
+
+    def _leaf_value(self, y: np.ndarray):
+        labels, counts = np.unique(y, return_counts=True)
+        return labels[int(np.argmax(counts))]
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return len(np.unique(y)) <= 1
+
+    def accuracy(self, X: Sequence[Sequence[float]], y: Sequence) -> float:
+        """Fraction of correct predictions on a labelled set."""
+        predictions = self.predict(X)
+        y = list(y)
+        return sum(p == t for p, t in zip(predictions, y)) / len(y)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART with variance reduction; leaves predict the mean target."""
+
+    def _impurity(self, y: np.ndarray) -> float:
+        if len(y) == 0:
+            return 0.0
+        return float(np.var(y.astype(float)))
+
+    def _leaf_value(self, y: np.ndarray):
+        return float(np.mean(y.astype(float)))
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return float(np.var(y.astype(float))) < 1e-12
+
+    def mean_absolute_error(
+        self, X: Sequence[Sequence[float]], y: Sequence[float]
+    ) -> float:
+        predictions = np.asarray(self.predict(X), dtype=float)
+        return float(np.mean(np.abs(predictions - np.asarray(y, dtype=float))))

@@ -1,0 +1,35 @@
+"""Rendering of the paper's tables and figures, plus experiment charts.
+
+* :mod:`repro.reporting.tables` — regenerates Tables 1–5 from the
+  registry + classification engine as aligned text tables;
+* :mod:`repro.reporting.figures` — renders Figure 1 (the taxonomy tree)
+  and ASCII charts for the validation experiments.
+"""
+
+from repro.reporting.tables import (
+    TextTable,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    all_tables,
+)
+from repro.reporting.figures import (
+    render_figure1,
+    ascii_line_chart,
+    ascii_bar_chart,
+)
+
+__all__ = [
+    "TextTable",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "all_tables",
+    "render_figure1",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+]

@@ -1,0 +1,48 @@
+"""Scheduling techniques (paper §3.3, Figure 1 scheduling class).
+
+* :mod:`repro.scheduling.queues` — wait-queue management: FCFS,
+  priority, shortest-job-first and per-workload multi-queue dispatch
+  with static or controller-driven MPLs;
+* :mod:`repro.scheduling.mpl` — dynamic MPL determination: analytical
+  queueing-model bounds [35][40][69] and feedback hill-climbing [17][28];
+* :mod:`repro.scheduling.utility` — the Niu et al. query scheduler:
+  per-class cost limits chosen by utility functions under an analytical
+  performance model [60];
+* :mod:`repro.scheduling.batch` — batch-order optimization with rank
+  functions (WSPT) and interaction-aware memory packing [2][24];
+* :mod:`repro.scheduling.restructuring` — query slicing: large queries
+  are decomposed into serial slices scheduled individually [6][36][54].
+"""
+
+from repro.scheduling.queues import (
+    FCFSScheduler,
+    PriorityScheduler,
+    ShortestJobFirstScheduler,
+    MultiQueueScheduler,
+)
+from repro.scheduling.mpl import (
+    MplController,
+    StaticMpl,
+    QueueingModelMpl,
+    FeedbackMpl,
+)
+from repro.scheduling.utility import UtilityScheduler, ServiceClassConfig
+from repro.scheduling.batch import wspt_order, interaction_aware_order, BatchScheduler
+from repro.scheduling.restructuring import RestructuringScheduler
+
+__all__ = [
+    "FCFSScheduler",
+    "PriorityScheduler",
+    "ShortestJobFirstScheduler",
+    "MultiQueueScheduler",
+    "MplController",
+    "StaticMpl",
+    "QueueingModelMpl",
+    "FeedbackMpl",
+    "UtilityScheduler",
+    "ServiceClassConfig",
+    "wspt_order",
+    "interaction_aware_order",
+    "BatchScheduler",
+    "RestructuringScheduler",
+]

@@ -1,0 +1,171 @@
+"""Dynamic multiprogramming-level (MPL) determination (paper §3.3).
+
+"Request scheduling aims to dynamically set MPLs ... to decide which
+and how many requests can be sent to the database to execute
+concurrently."  Two surveyed families:
+
+* **analytical** (:class:`QueueingModelMpl`) — queueing-network-style
+  bounds [35][40][69]: saturate the bottleneck device without
+  oversubscribing memory.  With per-request demand vector ``(cpu, io,
+  mem)`` the bottleneck saturates at ``N* = total demand / bottleneck
+  demand`` concurrent requests, and memory fits ``M / mem`` requests;
+  the model takes the min (times a safety factor).
+* **feedback** (:class:`FeedbackMpl`) — model-free hill climbing on
+  observed throughput, the control-theoretic approach of [17][28]
+  applied to the MPL knob (same algorithm as Heiss & Wagner admission,
+  but living at the scheduler's dispatch point).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+from repro.core.interfaces import ManagerContext
+from repro.engine.query import Query
+
+
+class MplController(abc.ABC):
+    """Supplies the current concurrency limit to a scheduler."""
+
+    @abc.abstractmethod
+    def current_limit(self, context: ManagerContext) -> Optional[int]:
+        """Max concurrently running requests (None = unlimited)."""
+
+    def attach(self, context: ManagerContext) -> None:
+        """Optional hook for periodic measurement."""
+
+    def notify_completion(self) -> None:
+        """Optional hook: a request completed (feedback controllers)."""
+
+
+class StaticMpl(MplController):
+    """A fixed MPL — the manual threshold the paper calls "static"."""
+
+    def __init__(self, limit: Optional[int]) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1 or None")
+        self.limit = limit
+
+    def current_limit(self, context: ManagerContext) -> Optional[int]:
+        return self.limit
+
+
+class QueueingModelMpl(MplController):
+    """Analytical MPL from demand vectors of the current work mix.
+
+    The estimate is refreshed on every call from the running + queued
+    queries' *estimated* costs (the scheduler never sees true costs):
+
+    * bottleneck bound: ``N_rate = sum_r capacity_r / demand_bottleneck``
+      where the per-request bottleneck demand uses mean estimated costs;
+    * memory bound: ``N_mem = memory_capacity / mean estimated memory``.
+
+    ``utilization_target`` scales the rate bound (running right at 100%
+    leaves no slack for estimate error); ``floor``/``ceiling`` clamp.
+    """
+
+    def __init__(
+        self,
+        utilization_target: float = 1.0,
+        memory_headroom: float = 1.0,
+        floor: int = 1,
+        ceiling: int = 500,
+    ) -> None:
+        if not 0 < utilization_target <= 2.0:
+            raise ValueError("utilization_target must be in (0, 2]")
+        self.utilization_target = utilization_target
+        self.memory_headroom = memory_headroom
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def _mean_costs(self, queries: List[Query]) -> Tuple[float, float, float]:
+        if not queries:
+            return 0.0, 0.0, 0.0
+        n = len(queries)
+        cpu = sum(q.estimated_cost.cpu_seconds for q in queries) / n
+        io = sum(q.estimated_cost.io_seconds for q in queries) / n
+        mem = sum(q.estimated_cost.memory_mb for q in queries) / n
+        return cpu, io, mem
+
+    def current_limit(self, context: ManagerContext) -> Optional[int]:
+        sample = context.engine.running_queries()
+        manager = context.manager
+        if manager is not None and hasattr(manager.scheduler, "queued_queries"):
+            sample = sample + manager.scheduler.queued_queries()  # type: ignore[attr-defined]
+        cpu, io, mem = self._mean_costs(sample)
+        if cpu <= 0 and io <= 0:
+            return self.ceiling
+        machine = context.engine.machine
+        bottleneck = max(cpu / machine.cpu_capacity, io / machine.disk_capacity)
+        duration = max(cpu, io)
+        if bottleneck <= 0:
+            rate_bound = self.ceiling
+        else:
+            # N requests of duration `duration` each put `cpu` (resp `io`)
+            # device-seconds on the machine per `duration` seconds; the
+            # bottleneck saturates at duration/bottleneck-demand-share.
+            rate_bound = self.utilization_target * duration / bottleneck
+        if mem > 0:
+            mem_bound = (
+                self.memory_headroom * machine.memory_mb / mem
+            )
+        else:
+            mem_bound = self.ceiling
+        limit = int(min(rate_bound, mem_bound))
+        return max(self.floor, min(self.ceiling, limit))
+
+
+class FeedbackMpl(MplController):
+    """Hill-climbing MPL from observed completion throughput.
+
+    The scheduler calls :meth:`notify_completion` per finished request;
+    :meth:`attach` arms the periodic adjustment.
+    """
+
+    def __init__(
+        self,
+        initial: int = 8,
+        minimum: int = 1,
+        maximum: int = 200,
+        interval: float = 5.0,
+        step: int = 2,
+        hysteresis: float = 0.02,
+    ) -> None:
+        if not minimum <= initial <= maximum:
+            raise ValueError("need minimum <= initial <= maximum")
+        self.limit = initial
+        self.minimum = minimum
+        self.maximum = maximum
+        self.interval = interval
+        self.step = step
+        self.hysteresis = hysteresis
+        self._direction = 1
+        self._completions = 0
+        self._last_throughput: Optional[float] = None
+        self.history: List[Tuple[float, int]] = []
+
+    def attach(self, context: ManagerContext) -> None:
+        context.sim.schedule_periodic(
+            self.interval, lambda: self._adjust(context), label="feedback-mpl"
+        )
+        self.history.append((context.now, self.limit))
+
+    def notify_completion(self) -> None:
+        self._completions += 1
+
+    def current_limit(self, context: ManagerContext) -> Optional[int]:
+        return self.limit
+
+    def _adjust(self, context: ManagerContext) -> None:
+        throughput = self._completions / self.interval
+        self._completions = 0
+        if self._last_throughput is not None:
+            reference = max(self._last_throughput, 1e-9)
+            if (throughput - self._last_throughput) / reference < -self.hysteresis:
+                self._direction = -self._direction
+        self._last_throughput = throughput
+        self.limit = int(
+            min(self.maximum, max(self.minimum, self.limit + self._direction * self.step))
+        )
+        self.history.append((context.now, self.limit))

@@ -1,0 +1,211 @@
+"""Wait-queue management schedulers (paper §3.3, queue management).
+
+"After passing through an admission control (if any), requests are
+placed in a wait queue or classified into multiple wait queues
+according to their performance objectives and/or business priorities.
+A scheduler then orders requests from the wait queue(s)."
+
+Disciplines provided:
+
+* :class:`FCFSScheduler` — arrival order (the baseline);
+* :class:`PriorityScheduler` — business priority, FIFO within a level;
+* :class:`ShortestJobFirstScheduler` — estimated work order (the
+  simplest rank function of [24]);
+* :class:`MultiQueueScheduler` — one queue per workload with
+  per-workload MPLs plus a global MPL (Teradata-style object throttles).
+
+Every scheduler takes its global MPL either as an int (static
+threshold) or as an :class:`~repro.scheduling.mpl.MplController`
+(dynamic determination — the paper's criticism of static thresholds is
+exactly that they cannot adapt).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.interfaces import ManagerContext, Scheduler
+from repro.engine.query import Query
+from repro.scheduling.mpl import MplController, StaticMpl
+
+MplLike = Union[None, int, MplController]
+
+
+def _as_controller(mpl: MplLike) -> MplController:
+    if isinstance(mpl, MplController):
+        return mpl
+    return StaticMpl(mpl)
+
+
+class _QueueSchedulerBase(Scheduler):
+    """Shared machinery: a reorderable queue + an MPL controller."""
+
+    def __init__(self, mpl: MplLike = None) -> None:
+        self._queue: List[Query] = []
+        self.mpl = _as_controller(mpl)
+        self.dispatched_count = 0
+
+    # -- Scheduler interface -------------------------------------------
+    def attach(self, context: ManagerContext) -> None:
+        self.mpl.attach(context)
+        context.engine.on_exit(lambda q, o: self.mpl.notify_completion())
+
+    def enqueue(self, query: Query, context: ManagerContext) -> None:
+        self._insert(query)
+
+    def next_batch(self, context: ManagerContext) -> List[Query]:
+        limit = self.mpl.current_limit(context)
+        batch: List[Query] = []
+        running = context.engine.running_count
+        while self._queue:
+            if limit is not None and running + len(batch) >= limit:
+                break
+            batch.append(self._pop_next(context))
+        self.dispatched_count += len(batch)
+        return batch
+
+    def queued_count(self) -> int:
+        return len(self._queue)
+
+    def queued_queries(self) -> List[Query]:
+        return list(self._queue)
+
+    def remove(self, query_id: int) -> Optional[Query]:
+        for index, query in enumerate(self._queue):
+            if query.query_id == query_id:
+                return self._queue.pop(index)
+        return None
+
+    # -- discipline hooks ----------------------------------------------
+    def _insert(self, query: Query) -> None:
+        self._queue.append(query)
+
+    def _pop_next(self, context: ManagerContext) -> Query:
+        return self._queue.pop(0)
+
+
+class FCFSScheduler(_QueueSchedulerBase):
+    """First-come-first-served dispatch under an MPL."""
+
+
+class PriorityScheduler(_QueueSchedulerBase):
+    """Higher business priority first; FIFO within a priority level."""
+
+    def _pop_next(self, context: ManagerContext) -> Query:
+        best_index = 0
+        best_priority = self._queue[0].priority
+        for index, query in enumerate(self._queue[1:], start=1):
+            if query.priority > best_priority:
+                best_index, best_priority = index, query.priority
+        return self._queue.pop(best_index)
+
+
+class ShortestJobFirstScheduler(_QueueSchedulerBase):
+    """Smallest estimated total work first (starvation-prone by design —
+    the experiments show why rank functions blend in wait time)."""
+
+    def __init__(self, mpl: MplLike = None, aging_weight: float = 0.0) -> None:
+        super().__init__(mpl)
+        self.aging_weight = aging_weight
+
+    def _rank(self, query: Query, now: float) -> float:
+        submit = query.submit_time if query.submit_time is not None else now
+        return query.estimated_cost.total_work - self.aging_weight * (now - submit)
+
+    def _pop_next(self, context: ManagerContext) -> Query:
+        now = context.now
+        best_index = min(
+            range(len(self._queue)),
+            key=lambda i: (self._rank(self._queue[i], now), i),
+        )
+        return self._queue.pop(best_index)
+
+
+class MultiQueueScheduler(Scheduler):
+    """One wait queue per workload, per-workload MPLs, global MPL.
+
+    Dispatch sweeps workloads by descending priority; within a workload
+    FIFO.  This is the structure of Teradata's workload-definition
+    concurrency throttles and DB2's concurrent-activities thresholds.
+    """
+
+    def __init__(
+        self,
+        global_mpl: MplLike = None,
+        per_workload_mpl: Optional[Dict[str, int]] = None,
+        default_workload_mpl: Optional[int] = None,
+    ) -> None:
+        self.global_mpl = _as_controller(global_mpl)
+        self.per_workload_mpl = dict(per_workload_mpl or {})
+        self.default_workload_mpl = default_workload_mpl
+        self._queues: Dict[str, List[Query]] = {}
+        self.dispatched_count = 0
+
+    def attach(self, context: ManagerContext) -> None:
+        self.global_mpl.attach(context)
+        context.engine.on_exit(lambda q, o: self.global_mpl.notify_completion())
+
+    def _workload_key(self, query: Query) -> str:
+        return query.workload_name or "<unassigned>"
+
+    def enqueue(self, query: Query, context: ManagerContext) -> None:
+        self._queues.setdefault(self._workload_key(query), []).append(query)
+
+    def _workload_limit(self, workload: str) -> Optional[int]:
+        if workload in self.per_workload_mpl:
+            return self.per_workload_mpl[workload]
+        return self.default_workload_mpl
+
+    def next_batch(self, context: ManagerContext) -> List[Query]:
+        limit = self.global_mpl.current_limit(context)
+        running_by_workload: Dict[str, int] = {}
+        for query in context.engine.running_queries():
+            key = query.workload_name or "<unassigned>"
+            running_by_workload[key] = running_by_workload.get(key, 0) + 1
+        running_total = context.engine.running_count
+
+        batch: List[Query] = []
+        # workloads by priority of their queue heads, descending
+        def head_priority(workload: str) -> int:
+            queue = self._queues[workload]
+            return queue[0].priority if queue else -1
+
+        progressed = True
+        at_global_limit = False
+        while progressed and not at_global_limit:
+            progressed = False
+            for workload in sorted(
+                self._queues, key=head_priority, reverse=True
+            ):
+                queue = self._queues[workload]
+                if not queue:
+                    continue
+                if limit is not None and running_total + len(batch) >= limit:
+                    at_global_limit = True
+                    break
+                workload_limit = self._workload_limit(workload)
+                in_flight = running_by_workload.get(workload, 0)
+                if workload_limit is not None and in_flight >= workload_limit:
+                    continue
+                query = queue.pop(0)
+                batch.append(query)
+                running_by_workload[workload] = in_flight + 1
+                progressed = True
+        self.dispatched_count += len(batch)
+        return batch
+
+    def queued_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def queued_queries(self) -> List[Query]:
+        return [q for queue in self._queues.values() for q in queue]
+
+    def remove(self, query_id: int) -> Optional[Query]:
+        for queue in self._queues.values():
+            for index, query in enumerate(queue):
+                if query.query_id == query_id:
+                    return queue.pop(index)
+        return None
+
+    def queue_length(self, workload: str) -> int:
+        return len(self._queues.get(workload, []))

@@ -1,0 +1,134 @@
+"""Query restructuring: slice large queries, schedule slices (paper §3.3).
+
+"Query restructuring techniques decompose a query into a set of small
+queries... no short queries will be stuck behind large queries and no
+large queries will be required to wait in the queue for long periods of
+time.  By restructuring the original query, the work is executed, but
+with a lesser impact on the performance of the other requests running
+concurrently" [6][36][54].
+
+:class:`RestructuringScheduler` wraps any inner scheduler.  Queries
+whose estimated work exceeds ``slice_threshold`` are decomposed into
+slices of ≈``slice_work`` device-seconds.  Slices of one query execute
+*serially* (they are sub-plans with a required order [54]); the wrapper
+releases the next slice when the previous completes and records the
+original query's end-to-end response time when the last slice finishes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.classify import Feature
+from repro.core.interfaces import ManagerContext, Scheduler
+from repro.engine.query import Query, QueryState, split_query
+
+
+@dataclass
+class _SliceGroup:
+    original: Query
+    pending: List[Query] = field(default_factory=list)  # not yet released
+    outstanding: int = 0                                # released, unfinished
+
+    @property
+    def finished(self) -> bool:
+        return not self.pending and self.outstanding == 0
+
+
+class RestructuringScheduler(Scheduler):
+    """Slice-large-queries wrapper around an inner scheduler."""
+
+    TECHNIQUE_FEATURES = frozenset(
+        {Feature.ACTS_BEFORE_EXECUTION, Feature.DECOMPOSES_QUERIES}
+    )
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        slice_threshold: float = 20.0,
+        slice_work: float = 5.0,
+        max_slices: int = 50,
+    ) -> None:
+        if slice_threshold <= 0 or slice_work <= 0:
+            raise ValueError("slice_threshold and slice_work must be positive")
+        self.inner = inner
+        self.slice_threshold = slice_threshold
+        self.slice_work = slice_work
+        self.max_slices = max_slices
+        self._groups: Dict[int, _SliceGroup] = {}      # slice id -> group
+        self.restructured_count = 0
+        #: response times of restructured originals (end-to-end)
+        self.original_response_times: List[float] = []
+
+    def attach(self, context: ManagerContext) -> None:
+        self.inner.attach(context)
+        if context.manager is not None:
+            context.manager.add_completion_listener(
+                lambda query: self._on_done(query, context)
+            )
+
+    def enqueue(self, query: Query, context: ManagerContext) -> None:
+        work = query.estimated_cost.total_work
+        if work <= self.slice_threshold or query.true_cost.lock_count > 0:
+            self.inner.enqueue(query, context)
+            return
+        pieces = min(self.max_slices, max(2, math.ceil(work / self.slice_work)))
+        slices = split_query(query, pieces)
+        group = _SliceGroup(original=query, pending=slices)
+        self.restructured_count += 1
+        self._release_next(group, context)
+
+    def _release_next(self, group: _SliceGroup, context: ManagerContext) -> None:
+        if not group.pending:
+            return
+        piece = group.pending.pop(0)
+        self._groups[piece.query_id] = group
+        group.outstanding += 1
+        piece.workload_name = group.original.workload_name
+        piece.priority = group.original.priority
+        piece.transition(QueryState.SUBMITTED)
+        piece.submit_time = (
+            group.original.submit_time
+            if group.original.submit_time is not None
+            else context.now
+        )
+        piece.transition(QueryState.QUEUED)
+        self.inner.enqueue(piece, context)
+
+    def _on_done(self, query: Query, context: ManagerContext) -> None:
+        group = self._groups.pop(query.query_id, None)
+        if group is None:
+            return
+        group.outstanding -= 1
+        if query.state is not QueryState.COMPLETED:
+            # a slice was killed/rejected: abandon the rest of the query
+            group.pending.clear()
+            return
+        if group.pending:
+            self._release_next(group, context)
+            if context.manager is not None:
+                context.manager.pump()
+        elif group.finished:
+            group.original.end_time = context.now
+            if group.original.submit_time is not None:
+                self.original_response_times.append(
+                    context.now - group.original.submit_time
+                )
+
+    # ------------------------------------------------------------------
+    # delegation
+    # ------------------------------------------------------------------
+    def next_batch(self, context: ManagerContext) -> List[Query]:
+        return self.inner.next_batch(context)
+
+    def queued_count(self) -> int:
+        return self.inner.queued_count()
+
+    def queued_queries(self) -> List[Query]:
+        getter = getattr(self.inner, "queued_queries", None)
+        return getter() if getter else []
+
+    def remove(self, query_id: int) -> Optional[Query]:
+        return self.inner.remove(query_id)

@@ -1,0 +1,57 @@
+"""Shared plumbing for the commercial system models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.interfaces import (
+    AdmissionController,
+    Characterizer,
+    ExecutionController,
+    Scheduler,
+)
+from repro.core.manager import WorkloadManager
+from repro.engine.executor import EngineConfig
+from repro.engine.query import Query
+from repro.engine.resources import MachineSpec
+from repro.engine.simulator import Simulator
+
+
+@dataclass
+class SystemBundle:
+    """A compiled system configuration, ready to plug into a manager.
+
+    Produced by each system model's ``build()``; consumed by
+    :meth:`SystemBundle.create_manager` (or passed piecewise to
+    :class:`~repro.core.manager.WorkloadManager`).
+    """
+
+    characterizer: Characterizer
+    admission: AdmissionController
+    scheduler: Scheduler
+    execution_controllers: List[ExecutionController] = field(default_factory=list)
+    weight_fn: Optional[Callable[[Query], float]] = None
+    name: str = "system"
+
+    def create_manager(
+        self,
+        sim: Simulator,
+        machine: Optional[MachineSpec] = None,
+        engine_config: Optional[EngineConfig] = None,
+        control_period: float = 1.0,
+        **kwargs,
+    ) -> WorkloadManager:
+        """Instantiate a WorkloadManager running this system model."""
+        return WorkloadManager(
+            sim,
+            machine=machine,
+            engine_config=engine_config,
+            characterizer=self.characterizer,
+            admission=self.admission,
+            scheduler=self.scheduler,
+            execution_controllers=list(self.execution_controllers),
+            weight_fn=self.weight_fn,
+            control_period=control_period,
+            **kwargs,
+        )

@@ -1,0 +1,352 @@
+"""Workload generators: drive workload specs on a simulator.
+
+A :class:`WorkloadGenerator` turns :class:`~repro.workloads.models.WorkloadSpec`
+objects into a stream of submitted queries: it opens sessions carrying
+the spec's origin attributes, draws request classes/costs/plans from the
+spec's distributions, annotates optimizer estimates, and schedules
+submissions.  Closed workloads resubmit per-client after a think time
+when notified of completion.
+
+The module also ships the canonical workload builders used across
+examples, tests and benchmarks — the OLTP / BI / report-batch / utility
+mix the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.optimizer import Optimizer, OptimizerProfile
+from repro.engine.query import Query, StatementType
+from repro.engine.sessions import ConnectionAttributes, Session, SessionRegistry
+from repro.engine.simulator import Simulator
+from repro.workloads.models import (
+    BatchArrivals,
+    ClosedArrivals,
+    Constant,
+    Exponential,
+    LogNormal,
+    OpenArrivals,
+    RequestClass,
+    Uniform,
+    WorkloadSpec,
+)
+
+SubmitFn = Callable[[Query], None]
+
+
+class WorkloadGenerator:
+    """Generates and submits queries for a set of workload specs.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule arrivals on.
+    submit:
+        Callback receiving each newly created query (normally
+        ``WorkloadManager.submit``).
+    optimizer:
+        Annotates estimated costs.  Defaults to a perfect optimizer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        submit: SubmitFn,
+        optimizer: Optional[Optimizer] = None,
+        sessions: Optional[SessionRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.submit = submit
+        self.optimizer = optimizer or Optimizer(
+            OptimizerProfile(), sim.rng("optimizer")
+        )
+        # Share the manager's registry so identification by connection
+        # attributes (static characterization) can resolve sessions.
+        self.sessions = sessions if sessions is not None else SessionRegistry()
+        self._specs: List[WorkloadSpec] = []
+        self._spec_sessions: Dict[str, List[Session]] = {}
+        self._next_session: Dict[str, int] = {}
+        self._closed_outstanding: Dict[int, str] = {}  # query_id -> spec name
+        self._horizon = 0.0
+        self.generated_count = 0
+
+    def add(self, spec: WorkloadSpec) -> None:
+        """Register a workload spec (before :meth:`start`)."""
+        self._specs.append(spec)
+
+    def start(self, horizon: float) -> None:
+        """Schedule all arrivals within ``[0, horizon)``."""
+        self._horizon = horizon
+        for spec in self._specs:
+            sessions = [
+                self.sessions.open(spec.session_attributes)
+                for _ in range(max(1, spec.sessions))
+            ]
+            self._spec_sessions[spec.name] = sessions
+            self._next_session[spec.name] = 0
+            rng = self.sim.rng(f"arrivals:{spec.name}")
+            for time in spec.arrivals.arrival_times(rng, horizon):
+                self.sim.schedule_at(
+                    time,
+                    lambda s=spec: self._emit(s),
+                    label=f"arrival:{spec.name}",
+                )
+
+    def notify_done(self, query: Query) -> None:
+        """Tell the generator a query finished (drives closed workloads).
+
+        Wire this to the manager's completion listener.  Open and batch
+        workloads ignore it.
+        """
+        spec_name = self._closed_outstanding.pop(query.query_id, None)
+        if spec_name is None:
+            return
+        spec = next((s for s in self._specs if s.name == spec_name), None)
+        if spec is None or not isinstance(spec.arrivals, ClosedArrivals):
+            return
+        if self.sim.now >= self._horizon:
+            return
+        rng = self.sim.rng(f"think:{spec.name}")
+        think = max(0.0, spec.arrivals.think_time.sample(rng))
+        self.sim.schedule(
+            think, lambda s=spec: self._emit(s), label=f"think:{spec.name}"
+        )
+
+    # ------------------------------------------------------------------
+    def make_query(self, spec: WorkloadSpec) -> Query:
+        """Create one query for ``spec`` without submitting it."""
+        rng = self.sim.rng(f"costs:{spec.name}")
+        request_class = spec.pick_class(rng)
+        sessions = self._spec_sessions.get(spec.name) or [
+            self.sessions.open(spec.session_attributes)
+        ]
+        index = self._next_session.get(spec.name, 0)
+        session = sessions[index % len(sessions)]
+        self._next_session[spec.name] = index + 1
+        session.note_submission()
+        query = Query(
+            true_cost=request_class.sample_cost(rng),
+            estimated_cost=request_class.sample_cost(rng),  # overwritten below
+            statement_type=request_class.statement_type,
+            plan=request_class.sample_plan(rng),
+            session_id=session.session_id,
+            priority=spec.priority,
+            sql=f"{spec.name}:{request_class.name}",
+            objects=tuple(request_class.objects),
+        )
+        self.optimizer.annotate(query)
+        self.generated_count += 1
+        return query
+
+    def _emit(self, spec: WorkloadSpec) -> None:
+        query = self.make_query(spec)
+        if isinstance(spec.arrivals, ClosedArrivals):
+            self._closed_outstanding[query.query_id] = spec.name
+        self.submit(query)
+
+
+@dataclass
+class Scenario:
+    """A bundle of workload specs plus a horizon, ready to run."""
+
+    specs: Sequence[WorkloadSpec]
+    horizon: float = 300.0
+    optimizer_profile: OptimizerProfile = field(default_factory=OptimizerProfile)
+
+    def build(
+        self,
+        sim: Simulator,
+        submit: SubmitFn,
+        sessions: Optional[SessionRegistry] = None,
+    ) -> WorkloadGenerator:
+        """Create a generator for this scenario and schedule arrivals."""
+        optimizer = Optimizer(self.optimizer_profile, sim.rng("optimizer"))
+        generator = WorkloadGenerator(sim, submit, optimizer, sessions=sessions)
+        for spec in self.specs:
+            generator.add(spec)
+        generator.start(self.horizon)
+        return generator
+
+    def spec(self, name: str) -> WorkloadSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+
+# ----------------------------------------------------------------------
+# canonical workload builders
+# ----------------------------------------------------------------------
+def oltp_workload(
+    name: str = "oltp",
+    rate: float = 10.0,
+    priority: int = 3,
+    write_fraction: float = 0.6,
+    mean_cpu: float = 0.015,
+    mean_io: float = 0.02,
+    lock_count: float = 8.0,
+    application: str = "order-entry",
+) -> WorkloadSpec:
+    """Short, cheap, high-priority transaction processing (paper §1).
+
+    Transactions "may require only milliseconds of CPU time and very
+    small amounts of disk I/O".  Writes take row locks; reads do not.
+    """
+    write_class = RequestClass(
+        name="txn-write",
+        cpu=Exponential(mean_cpu),
+        io=Exponential(mean_io),
+        memory_mb=Constant(4.0),
+        locks=Constant(lock_count),
+        rows=Constant(5.0),
+        statement_type=StatementType.WRITE,
+        plan_shape=("index-probe", "update"),
+        operator_state_mb=0.5,
+    )
+    read_class = RequestClass(
+        name="txn-read",
+        cpu=Exponential(mean_cpu * 0.7),
+        io=Exponential(mean_io * 0.7),
+        memory_mb=Constant(2.0),
+        locks=Constant(0.0),
+        rows=Constant(20.0),
+        statement_type=StatementType.READ,
+        plan_shape=("index-probe", "fetch"),
+        operator_state_mb=0.5,
+    )
+    return WorkloadSpec(
+        name=name,
+        request_classes=(
+            (write_class, write_fraction),
+            (read_class, 1.0 - write_fraction),
+        ),
+        arrivals=OpenArrivals(rate=rate),
+        priority=priority,
+        session_attributes=ConnectionAttributes(
+            application=application, user="clerk", client_ip="10.0.0.1"
+        ),
+        sessions=8,
+    )
+
+
+def bi_workload(
+    name: str = "bi",
+    rate: float = 0.1,
+    priority: int = 1,
+    median_cpu: float = 15.0,
+    median_io: float = 25.0,
+    sigma: float = 0.9,
+    memory_low: float = 200.0,
+    memory_high: float = 1500.0,
+    application: str = "analytics",
+) -> WorkloadSpec:
+    """Long, heavy, low-priority business-intelligence queries (§1).
+
+    "Longer, more complex and resource-intensive queries that can
+    require hours or an even longer time to complete" — heavy-tailed
+    log-normal demands and large working memory.
+    """
+    adhoc = RequestClass(
+        name="bi-adhoc",
+        cpu=LogNormal(median=median_cpu, sigma=sigma),
+        io=LogNormal(median=median_io, sigma=sigma),
+        memory_mb=Uniform(memory_low, memory_high),
+        rows=LogNormal(median=50_000, sigma=1.2),
+        statement_type=StatementType.READ,
+        plan_shape=("scan", "hash-build", "join", "sort", "aggregate"),
+        operator_state_mb=120.0,
+    )
+    return WorkloadSpec(
+        name=name,
+        request_classes=((adhoc, 1.0),),
+        arrivals=OpenArrivals(rate=rate),
+        priority=priority,
+        session_attributes=ConnectionAttributes(
+            application=application, user="analyst", client_ip="10.0.1.7"
+        ),
+        sessions=4,
+    )
+
+
+def report_batch_workload(
+    name: str = "reports",
+    count: int = 40,
+    at: float = 0.0,
+    priority: int = 2,
+    median_cpu: float = 4.0,
+    median_io: float = 6.0,
+    sigma: float = 0.7,
+) -> WorkloadSpec:
+    """A report-generation batch (paper §2.2's "daily routine" example)."""
+    report = RequestClass(
+        name="report",
+        cpu=LogNormal(median=median_cpu, sigma=sigma),
+        io=LogNormal(median=median_io, sigma=sigma),
+        memory_mb=Uniform(50.0, 300.0),
+        rows=LogNormal(median=5_000, sigma=0.8),
+        statement_type=StatementType.READ,
+        plan_shape=("scan", "join", "aggregate"),
+        operator_state_mb=40.0,
+    )
+    return WorkloadSpec(
+        name=name,
+        request_classes=((report, 1.0),),
+        arrivals=BatchArrivals(count=count, at=at),
+        priority=priority,
+        session_attributes=ConnectionAttributes(
+            application="report-runner", user="batch", client_ip="10.0.2.2"
+        ),
+        sessions=2,
+    )
+
+
+def utility_workload(
+    name: str = "utilities",
+    count: int = 2,
+    at: float = 0.0,
+    io_seconds: float = 120.0,
+    priority: int = 1,
+) -> WorkloadSpec:
+    """On-line maintenance utilities (backup, reorg) per Parekh et al. [64]."""
+    utility = RequestClass(
+        name="backup",
+        cpu=Constant(io_seconds * 0.2),
+        io=Constant(io_seconds),
+        memory_mb=Constant(100.0),
+        rows=Constant(0.0),
+        statement_type=StatementType.UTILITY,
+        plan_shape=("read-pages", "write-archive"),
+        operator_state_mb=10.0,
+    )
+    return WorkloadSpec(
+        name=name,
+        request_classes=((utility, 1.0),),
+        arrivals=BatchArrivals(count=count, at=at),
+        priority=priority,
+        session_attributes=ConnectionAttributes(
+            application="maintenance", user="dba", client_ip="10.0.9.9"
+        ),
+        sessions=1,
+    )
+
+
+def mixed_scenario(
+    horizon: float = 300.0,
+    oltp_rate: float = 10.0,
+    bi_rate: float = 0.08,
+    optimizer_error: float = 0.0,
+) -> Scenario:
+    """The paper's motivating consolidation mix: OLTP + BI + reports."""
+    return Scenario(
+        specs=(
+            oltp_workload(rate=oltp_rate),
+            bi_workload(rate=bi_rate),
+            report_batch_workload(at=horizon * 0.1),
+        ),
+        horizon=horizon,
+        optimizer_profile=OptimizerProfile(
+            error_sigma=optimizer_error, cardinality_sigma=optimizer_error
+        ),
+    )

@@ -1,0 +1,300 @@
+"""Workload models: cost distributions, request classes, arrival processes.
+
+A :class:`WorkloadSpec` bundles what the paper calls a *workload* — "a
+set of requests that have some common characteristics such as
+application, source of request, type of query, business priority and/or
+performance objectives" (§1) — into a generator-ready description:
+request classes with cost distributions, an arrival process (open
+Poisson or closed with think time, per Schroeder et al. [70]), session
+origin attributes, and a business priority.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.query import CostVector, PlanOperator, QueryPlan, StatementType
+from repro.engine.sessions import ConnectionAttributes
+
+
+# ----------------------------------------------------------------------
+# distributions
+# ----------------------------------------------------------------------
+class Distribution(abc.ABC):
+    """A sampleable scalar distribution."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value (used by analytical MPL models)."""
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Always returns ``value``."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given mean (OLTP-ish service demands)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value))
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Heavy-tailed log-normal (BI/DSS demands).
+
+    Parameterized by the *median* and the log-space sigma, which is the
+    natural way to say "typically 60 s, occasionally 10 minutes".
+    """
+
+    median: float
+    sigma: float
+    cap: Optional[float] = None     # optional truncation
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma < 0:
+            raise ValueError("median must be > 0 and sigma >= 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = float(self.median * np.exp(rng.normal(0.0, self.sigma)))
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    def mean(self) -> float:
+        mean = self.median * float(np.exp(self.sigma**2 / 2.0))
+        if self.cap is not None:
+            mean = min(mean, self.cap)
+        return mean
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform on [low, high]."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("high must be >= low")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+# ----------------------------------------------------------------------
+# request classes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestClass:
+    """A family of similar requests within a workload (paper §2.2 "what").
+
+    ``cpu``/``io`` are distributions of device-seconds; ``memory_mb`` of
+    working memory; ``locks`` of exclusive locks taken (0 for read-only
+    classes); ``rows`` of result cardinality.  ``plan_shape`` names the
+    operators of generated plans (used by progress/suspend machinery).
+    """
+
+    name: str
+    cpu: Distribution
+    io: Distribution
+    memory_mb: Distribution = Constant(16.0)
+    locks: Distribution = Constant(0.0)
+    rows: Distribution = Constant(100.0)
+    statement_type: StatementType = StatementType.READ
+    plan_shape: Sequence[str] = ("scan", "join", "aggregate")
+    operator_state_mb: float = 8.0
+    #: database objects this class's queries access ("where" criteria)
+    objects: Tuple[str, ...] = ()
+
+    def sample_cost(self, rng: np.random.Generator) -> CostVector:
+        """Draw one true cost vector."""
+        return CostVector(
+            cpu_seconds=max(0.0, self.cpu.sample(rng)),
+            io_seconds=max(0.0, self.io.sample(rng)),
+            memory_mb=max(0.0, self.memory_mb.sample(rng)),
+            lock_count=int(round(max(0.0, self.locks.sample(rng)))),
+            rows=int(round(max(0.0, self.rows.sample(rng)))),
+        )
+
+    def sample_plan(self, rng: np.random.Generator) -> QueryPlan:
+        """Draw a plan: the named operators with Dirichlet work split."""
+        names = list(self.plan_shape) or ["scan"]
+        fractions = rng.dirichlet(np.ones(len(names)) * 2.0)
+        # Normalize defensively against float drift.
+        fractions = fractions / fractions.sum()
+        operators = []
+        for index, (name, fraction) in enumerate(zip(names, fractions)):
+            operators.append(
+                PlanOperator(
+                    name=name,
+                    work_fraction=float(fraction),
+                    state_mb=self.operator_state_mb,
+                    blocking=(name in ("sort", "hash-build", "aggregate")),
+                )
+            )
+        return QueryPlan(operators=tuple(operators))
+
+
+# ----------------------------------------------------------------------
+# arrival processes
+# ----------------------------------------------------------------------
+class ArrivalProcess(abc.ABC):
+    """How a workload's requests arrive over time."""
+
+    @abc.abstractmethod
+    def arrival_times(
+        self, rng: np.random.Generator, horizon: float
+    ) -> List[float]:
+        """Pre-draw open-arrival times in [0, horizon); closed processes
+        return only the initial submissions and reschedule on completion."""
+
+
+@dataclass(frozen=True)
+class OpenArrivals(ArrivalProcess):
+    """Open system: Poisson arrivals at ``rate`` per second.
+
+    Optionally modulated by ``phases`` — (start, rate) pairs that change
+    the rate over time (used by the autonomic-loop experiments where the
+    mix shifts mid-run).
+    """
+
+    rate: float
+    phases: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be >= 0")
+
+    def rate_at(self, time: float) -> float:
+        rate = self.rate
+        for start, phase_rate in self.phases:
+            if time >= start:
+                rate = phase_rate
+        return rate
+
+    def arrival_times(self, rng: np.random.Generator, horizon: float) -> List[float]:
+        times: List[float] = []
+        now = 0.0
+        while True:
+            rate = self.rate_at(now)
+            if rate <= 0:
+                # jump to the next phase boundary, if any
+                upcoming = [s for s, _ in self.phases if s > now]
+                if not upcoming:
+                    break
+                now = min(upcoming)
+                continue
+            now += float(rng.exponential(1.0 / rate))
+            if now >= horizon:
+                break
+            times.append(now)
+        return times
+
+
+@dataclass(frozen=True)
+class ClosedArrivals(ArrivalProcess):
+    """Closed system: ``population`` clients, each resubmitting after a
+    think time when its previous request completes [70]."""
+
+    population: int
+    think_time: Distribution = Constant(1.0)
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be >= 1")
+
+    def arrival_times(self, rng: np.random.Generator, horizon: float) -> List[float]:
+        # Initial submissions only; the generator reschedules on completion.
+        return [float(rng.uniform(0.0, 0.05)) for _ in range(self.population)]
+
+
+@dataclass(frozen=True)
+class BatchArrivals(ArrivalProcess):
+    """A batch: ``count`` requests all present at ``at`` (report batches)."""
+
+    count: int
+    at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+
+    def arrival_times(self, rng: np.random.Generator, horizon: float) -> List[float]:
+        if self.at >= horizon:
+            return []
+        return [self.at] * self.count
+
+
+# ----------------------------------------------------------------------
+# workload specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete, generator-ready workload description."""
+
+    name: str
+    request_classes: Sequence[Tuple[RequestClass, float]]  # (class, mix weight)
+    arrivals: ArrivalProcess
+    priority: int = 1
+    session_attributes: ConnectionAttributes = field(
+        default_factory=ConnectionAttributes
+    )
+    sessions: int = 4               # connections the workload spreads over
+
+    def __post_init__(self) -> None:
+        if not self.request_classes:
+            raise ValueError(f"workload {self.name!r} has no request classes")
+        if any(weight <= 0 for _, weight in self.request_classes):
+            raise ValueError("mix weights must be positive")
+
+    def pick_class(self, rng: np.random.Generator) -> RequestClass:
+        """Draw a request class according to the mix weights."""
+        classes = [cls for cls, _ in self.request_classes]
+        weights = np.array([w for _, w in self.request_classes], dtype=float)
+        index = rng.choice(len(classes), p=weights / weights.sum())
+        return classes[int(index)]
+
+    def mean_cost(self) -> CostVector:
+        """Mix-weighted mean cost (consumed by analytical MPL models)."""
+        weights = np.array([w for _, w in self.request_classes], dtype=float)
+        weights = weights / weights.sum()
+        cpu = io = mem = locks = rows = 0.0
+        for (cls, _), weight in zip(self.request_classes, weights):
+            cpu += weight * cls.cpu.mean()
+            io += weight * cls.io.mean()
+            mem += weight * cls.memory_mb.mean()
+            locks += weight * cls.locks.mean()
+            rows += weight * cls.rows.mean()
+        return CostVector(cpu, io, mem, int(round(locks)), int(round(rows)))

@@ -1,0 +1,166 @@
+"""Query log (DBQL-style) recording, analysis windows, and replay.
+
+Teradata's Workload Analyzer recommends workload definitions "by
+analyzing the data of database query log (DBQL)" (paper §4.1.3), and the
+dynamic-characterization techniques of §3.1 learn from observed request
+streams.  This module provides the log those components consume: an
+append-only record of everything that flowed through the manager, with
+windowed aggregation for feature extraction and replay support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.engine.query import CostVector, Query, QueryState, StatementType
+
+
+@dataclass(frozen=True)
+class QueryLogRecord:
+    """One DBQL row: what a request was and how it fared."""
+
+    query_id: int
+    workload: Optional[str]
+    statement_type: StatementType
+    priority: int
+    submit_time: float
+    start_time: Optional[float]
+    end_time: Optional[float]
+    final_state: QueryState
+    estimated_cost: CostVector
+    true_cost: CostVector
+    session_id: Optional[int]
+    sql: str = ""
+    plan_operators: int = 1
+
+    @property
+    def response_time(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.submit_time
+
+    @property
+    def completed(self) -> bool:
+        return self.final_state is QueryState.COMPLETED
+
+
+class QueryLog:
+    """Append-only query log with window aggregation and replay."""
+
+    def __init__(self) -> None:
+        self._records: List[QueryLogRecord] = []
+
+    def record_query(self, query: Query) -> QueryLogRecord:
+        """Append a record snapshotting ``query``'s final disposition."""
+        record = QueryLogRecord(
+            query_id=query.query_id,
+            workload=query.workload_name,
+            statement_type=query.statement_type,
+            priority=query.priority,
+            submit_time=query.submit_time if query.submit_time is not None else 0.0,
+            start_time=query.start_time,
+            end_time=query.end_time,
+            final_state=query.state,
+            estimated_cost=query.estimated_cost,
+            true_cost=query.true_cost,
+            session_id=query.session_id,
+            sql=query.sql,
+            plan_operators=len(query.plan),
+        )
+        self._records.append(record)
+        return record
+
+    def append(self, record: QueryLogRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(
+        self,
+        workload: Optional[str] = None,
+        completed_only: bool = False,
+    ) -> List[QueryLogRecord]:
+        """Filtered view of the log."""
+        out = []
+        for record in self._records:
+            if workload is not None and record.workload != workload:
+                continue
+            if completed_only and not record.completed:
+                continue
+            out.append(record)
+        return out
+
+    # ------------------------------------------------------------------
+    # windowed aggregation (feature extraction for characterization)
+    # ------------------------------------------------------------------
+    def windows(
+        self, width: float, horizon: Optional[float] = None
+    ) -> List[List[QueryLogRecord]]:
+        """Partition records into fixed-width windows by submit time."""
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        if not self._records:
+            return []
+        end = horizon
+        if end is None:
+            end = max(r.submit_time for r in self._records) + width
+        count = int(np.ceil(end / width))
+        buckets: List[List[QueryLogRecord]] = [[] for _ in range(count)]
+        for record in self._records:
+            index = int(record.submit_time // width)
+            if 0 <= index < count:
+                buckets[index].append(record)
+        return buckets
+
+    def throughput(
+        self, width: float, horizon: Optional[float] = None
+    ) -> List[float]:
+        """Completions per second in each window (by end time)."""
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        completed = [r for r in self._records if r.completed and r.end_time is not None]
+        if not completed:
+            return []
+        end = horizon
+        if end is None:
+            end = max(r.end_time for r in completed) + width
+        count = int(np.ceil(end / width))
+        counts = [0] * count
+        for record in completed:
+            index = int(record.end_time // width)
+            if 0 <= index < count:
+                counts[index] += 1
+        return [c / width for c in counts]
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay_queries(self) -> List[Query]:
+        """Fresh queries replicating the logged stream (same costs/times).
+
+        The caller schedules each at its record's ``submit_time``; useful
+        for A/B-ing two policies on an identical request sequence.
+        """
+        replayed = []
+        for record in self._records:
+            query = Query(
+                true_cost=record.true_cost,
+                estimated_cost=record.estimated_cost,
+                statement_type=record.statement_type,
+                priority=record.priority,
+                session_id=record.session_id,
+                sql=record.sql,
+            )
+            replayed.append(query)
+        return replayed
+
+    def arrival_schedule(self) -> List[float]:
+        """Submit times aligned with :meth:`replay_queries` order."""
+        return [record.submit_time for record in self._records]

@@ -1,0 +1,234 @@
+"""Integration tests for the WorkloadManager pipeline."""
+
+import pytest
+
+from repro.core.interfaces import (
+    AdmissionController,
+    AdmissionDecision,
+    ExecutionController,
+    ManagerContext,
+)
+from repro.core.manager import (
+    AcceptAllAdmission,
+    FCFSDispatcher,
+    TagCharacterizer,
+    WorkloadManager,
+)
+from repro.core.sla import SLASet, response_time_sla
+from repro.engine.query import Query, QueryState
+from repro.engine.resources import MachineSpec
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_query
+
+
+def _manager(sim, **kwargs):
+    kwargs.setdefault(
+        "machine", MachineSpec(cpu_capacity=2.0, disk_capacity=2.0, memory_mb=2048)
+    )
+    return WorkloadManager(sim, **kwargs)
+
+
+class TestSubmission:
+    def test_submit_runs_and_completes(self, sim):
+        manager = _manager(sim)
+        query = make_query(cpu=1.0, io=0.0, sql="wl:txn")
+        manager.submit(query)
+        manager.run(horizon=0.0, drain=5.0)
+        assert query.state is QueryState.COMPLETED
+        assert manager.metrics.stats_for("wl").completions == 1
+
+    def test_tag_characterizer_assigns_workload(self, sim):
+        manager = _manager(sim)
+        query = make_query(sql="sales:lookup")
+        manager.submit(query)
+        assert query.workload_name == "sales"
+
+    def test_tag_characterizer_without_tag(self, sim):
+        manager = _manager(sim)
+        query = make_query(sql="")
+        manager.submit(query)
+        assert query.workload_name is None
+
+    def test_registered_workload_sets_priority(self, sim):
+        manager = _manager(sim)
+        manager.register_workload("vip", priority=5)
+        query = make_query(sql="vip:q")
+        manager.submit(query)
+        assert query.priority == 5
+
+    def test_sla_importance_sets_priority(self, sim):
+        slas = SLASet([response_time_sla("gold", average=1.0, importance=4)])
+        manager = _manager(sim, slas=slas)
+        query = make_query(sql="gold:q")
+        manager.submit(query)
+        assert query.priority == 4
+
+    def test_submit_time_stamped(self, sim):
+        manager = _manager(sim)
+        sim.schedule_at(3.0, lambda: manager.submit(make_query(cpu=0.1, io=0.0)))
+        sim.run_until(3.0)
+        assert manager.submitted_count == 1
+
+
+class TestRejection:
+    class _RejectAll(AdmissionController):
+        def decide(self, query, context):
+            return AdmissionDecision.reject("no")
+
+    def test_rejection_recorded_and_terminal(self, sim):
+        manager = _manager(sim, admission=self._RejectAll())
+        notified = []
+        manager.add_completion_listener(lambda q: notified.append(q.query_id))
+        query = make_query(sql="wl:q")
+        decision = manager.submit(query)
+        assert decision.outcome.value == "reject"
+        assert query.state is QueryState.REJECTED
+        assert manager.rejected_count == 1
+        assert manager.metrics.stats_for("wl").rejections == 1
+        assert notified == [query.query_id]
+        assert len(manager.query_log) == 1
+
+
+class TestDelay:
+    class _DelayOnce(AdmissionController):
+        def __init__(self):
+            self.calls = 0
+
+        def decide(self, query, context):
+            self.calls += 1
+            if self.calls == 1:
+                return AdmissionDecision.delay("wait")
+            return AdmissionDecision.accept("go")
+
+    def test_delayed_query_retried_on_tick(self, sim):
+        admission = self._DelayOnce()
+        manager = _manager(sim, admission=admission, control_period=0.5)
+        query = make_query(cpu=0.2, io=0.0)
+        manager.submit(query)
+        assert manager.queued_count == 1
+        manager.run(horizon=2.0, drain=5.0)
+        assert query.state is QueryState.COMPLETED
+        assert admission.calls == 2
+
+
+class TestDispatch:
+    def test_fcfs_mpl_limits_concurrency(self, sim):
+        manager = _manager(sim, scheduler=FCFSDispatcher(max_concurrency=2))
+        for _ in range(5):
+            manager.submit(make_query(cpu=1.0, io=0.0))
+        assert manager.running_count == 2
+        assert manager.queued_count == 3
+        manager.run(horizon=0.0, drain=30.0)
+        assert manager.metrics.stats_for(None).completions == 5
+
+    def test_invalid_mpl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FCFSDispatcher(max_concurrency=0)
+
+    def test_weight_fn_uses_priority_by_default(self, sim):
+        manager = _manager(sim)
+        high = make_query(cpu=10.0, io=0.0, priority=4)
+        low = make_query(cpu=10.0, io=0.0, priority=1)
+        manager.submit(high)
+        manager.submit(low)
+        assert manager.engine.weight_of(high.query_id) == 4.0
+        assert manager.engine.weight_of(low.query_id) == 1.0
+
+    def test_custom_weight_fn(self, sim):
+        manager = _manager(sim, weight_fn=lambda q: 7.0)
+        query = make_query(cpu=1.0, io=0.0)
+        manager.submit(query)
+        assert manager.engine.weight_of(query.query_id) == 7.0
+
+    def test_scheduler_remove_supports_kill_in_queue(self, sim):
+        manager = _manager(sim, scheduler=FCFSDispatcher(max_concurrency=1))
+        first = make_query(cpu=5.0, io=0.0)
+        second = make_query(cpu=5.0, io=0.0)
+        manager.submit(first)
+        manager.submit(second)
+        removed = manager.scheduler.remove(second.query_id)
+        assert removed is second
+        assert manager.queued_count == 0
+
+
+class TestAbortResubmission:
+    def test_wait_die_victims_are_resubmitted_and_finish(self, sim):
+        from repro.engine.executor import EngineConfig
+
+        manager = WorkloadManager(
+            sim,
+            machine=MachineSpec(cpu_capacity=4.0, disk_capacity=4.0, memory_mb=2048),
+            engine_config=EngineConfig(hot_set_size=1),
+        )
+        first = make_query(cpu=5.0, io=0.0, locks=1)
+        manager.submit(first)
+        sim.run_until(2.6)
+        second = make_query(cpu=1.0, io=0.0, locks=1)
+        manager.submit(second)
+        manager.run(horizon=3.0, drain=30.0)
+        assert first.state is QueryState.COMPLETED
+        assert second.state is QueryState.COMPLETED
+        assert second.restarts >= 1
+        assert manager.metrics.stats_for(None).aborts >= 1
+
+
+class TestControlTick:
+    class _Recorder(ExecutionController):
+        def __init__(self):
+            self.ticks = []
+
+        def control(self, context: ManagerContext) -> None:
+            self.ticks.append(context.now)
+
+    def test_controllers_run_each_period(self, sim):
+        recorder = self._Recorder()
+        manager = _manager(
+            sim, execution_controllers=[recorder], control_period=1.0
+        )
+        manager.run(horizon=3.5, drain=0.0)
+        assert recorder.ticks == [1.0, 2.0, 3.0]
+
+    def test_system_samples_collected(self, sim):
+        manager = _manager(sim, control_period=1.0)
+        manager.submit(make_query(cpu=10.0, io=0.0))
+        manager.run(horizon=2.0, drain=0.0)
+        sample = manager.metrics.latest_sample()
+        assert sample is not None
+        assert sample.running == 1
+        assert sample.cpu_utilization > 0
+
+    def test_add_execution_controller_later(self, sim):
+        manager = _manager(sim)
+        recorder = self._Recorder()
+        manager.add_execution_controller(recorder)
+        manager.run(horizon=1.0, drain=0.0)
+        assert recorder.ticks == [1.0]
+
+    def test_shutdown_stops_tick(self, sim):
+        manager = _manager(sim, control_period=1.0)
+        manager.shutdown()
+        sim.run()
+        assert sim.now < 1.0
+
+
+class TestListeners:
+    def test_completion_listener_called_for_completed(self, sim):
+        manager = _manager(sim)
+        done = []
+        manager.add_completion_listener(lambda q: done.append(q.state))
+        manager.submit(make_query(cpu=0.1, io=0.0))
+        manager.run(horizon=0.0, drain=2.0)
+        assert done == [QueryState.COMPLETED]
+
+    def test_kill_notifies_listeners(self, sim):
+        manager = _manager(sim)
+        done = []
+        manager.add_completion_listener(lambda q: done.append(q.state))
+        query = make_query(cpu=100.0, io=0.0)
+        manager.submit(query)
+        sim.run_until(1.0)
+        manager.engine.kill(query.query_id)
+        assert done == [QueryState.KILLED]
+        assert manager.metrics.stats_for(None).kills == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the buffer pool / spill model."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool
+
+
+class TestReservations:
+    def test_empty_pool_no_pressure(self):
+        pool = BufferPool(capacity_mb=1000.0)
+        assert pool.pressure == 0.0
+        assert pool.io_inflation() == 1.0
+
+    def test_reserve_and_release(self):
+        pool = BufferPool(capacity_mb=1000.0)
+        pool.reserve("a", 300.0)
+        pool.reserve("b", 200.0)
+        assert pool.committed_mb == 500.0
+        pool.release("a")
+        assert pool.committed_mb == 200.0
+
+    def test_release_is_idempotent(self):
+        pool = BufferPool(capacity_mb=100.0)
+        pool.reserve("a", 50.0)
+        pool.release("a")
+        pool.release("a")
+        assert pool.committed_mb == 0.0
+
+    def test_re_reserve_replaces(self):
+        pool = BufferPool(capacity_mb=100.0)
+        pool.reserve("a", 50.0)
+        pool.reserve("a", 80.0)
+        assert pool.committed_mb == 80.0
+
+    def test_negative_reservation_clamped(self):
+        pool = BufferPool(capacity_mb=100.0)
+        pool.reserve("a", -5.0)
+        assert pool.committed_mb == 0.0
+
+
+class TestSpill:
+    def test_no_inflation_until_oversubscribed(self):
+        pool = BufferPool(capacity_mb=100.0, spill_penalty=3.0)
+        pool.reserve("a", 100.0)
+        assert pool.io_inflation() == pytest.approx(1.0)
+
+    def test_inflation_grows_linearly_with_overflow(self):
+        pool = BufferPool(capacity_mb=100.0, spill_penalty=3.0)
+        pool.reserve("a", 200.0)  # pressure 2.0 -> overflow 1.0
+        assert pool.io_inflation() == pytest.approx(4.0)
+
+    def test_pressure_ratio(self):
+        pool = BufferPool(capacity_mb=100.0)
+        pool.reserve("a", 150.0)
+        assert pool.pressure == pytest.approx(1.5)
+
+    def test_reset_clears_everything(self):
+        pool = BufferPool(capacity_mb=100.0)
+        pool.reserve("a", 500.0)
+        pool.reset()
+        assert pool.pressure == 0.0

@@ -1,0 +1,86 @@
+"""Unit tests for the cost-estimating optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.engine.optimizer import (
+    Optimizer,
+    OptimizerProfile,
+    perfect_optimizer,
+    realistic_optimizer,
+)
+from repro.engine.query import CostVector
+from repro.engine.simulator import Simulator
+
+from tests.conftest import make_query
+
+
+def _optimizer(profile=None, seed=1):
+    sim = Simulator(seed=seed)
+    return Optimizer(profile or OptimizerProfile(), sim.rng("optimizer"))
+
+
+class TestProfiles:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizerProfile(error_sigma=-1.0)
+
+    def test_perfect_profile_has_no_error(self):
+        profile = perfect_optimizer()
+        assert profile.error_sigma == 0.0
+        assert profile.cardinality_sigma == 0.0
+
+    def test_realistic_profile_has_error(self):
+        profile = realistic_optimizer()
+        assert profile.error_sigma > 0
+
+
+class TestEstimation:
+    def test_zero_sigma_is_exact(self):
+        optimizer = _optimizer(OptimizerProfile())
+        true_cost = CostVector(3.0, 5.0, 100.0, 2, 500)
+        estimate = optimizer.estimate(true_cost)
+        assert estimate.cpu_seconds == pytest.approx(3.0)
+        assert estimate.io_seconds == pytest.approx(5.0)
+        assert estimate.rows == 500
+
+    def test_bias_shifts_estimates(self):
+        optimizer = _optimizer(OptimizerProfile(bias=np.log(2.0)))
+        estimate = optimizer.estimate(CostVector(1.0, 1.0))
+        assert estimate.cpu_seconds == pytest.approx(2.0)
+
+    def test_cpu_and_io_share_error_draw(self):
+        optimizer = _optimizer(OptimizerProfile(error_sigma=1.0), seed=9)
+        true_cost = CostVector(2.0, 6.0)
+        estimate = optimizer.estimate(true_cost)
+        # the ratio io/cpu must be preserved by a shared factor
+        assert estimate.io_seconds / estimate.cpu_seconds == pytest.approx(3.0)
+
+    def test_errors_are_unbiased_in_log_space(self):
+        optimizer = _optimizer(OptimizerProfile(error_sigma=0.5), seed=4)
+        factors = [
+            optimizer.estimate(CostVector(1.0, 0.0)).cpu_seconds
+            for _ in range(2000)
+        ]
+        assert np.mean(np.log(factors)) == pytest.approx(0.0, abs=0.05)
+
+    def test_annotate_sets_estimated_cost_in_place(self):
+        optimizer = _optimizer(OptimizerProfile(error_sigma=0.8), seed=2)
+        query = make_query(cpu=10.0, io=10.0)
+        before = query.estimated_cost
+        optimizer.annotate(query)
+        assert query.estimated_cost is not before
+        assert query.true_cost.cpu_seconds == 10.0  # unchanged
+
+    def test_estimates_deterministic_per_seed(self):
+        a = _optimizer(OptimizerProfile(error_sigma=0.7), seed=11)
+        b = _optimizer(OptimizerProfile(error_sigma=0.7), seed=11)
+        cost = CostVector(4.0, 4.0, 64.0, 0, 1000)
+        ea, eb = a.estimate(cost), b.estimate(cost)
+        assert ea.cpu_seconds == eb.cpu_seconds
+        assert ea.rows == eb.rows
+
+    def test_rows_rounded_to_int(self):
+        optimizer = _optimizer(OptimizerProfile(cardinality_sigma=0.9), seed=3)
+        estimate = optimizer.estimate(CostVector(1.0, 1.0, rows=1000))
+        assert isinstance(estimate.rows, int)

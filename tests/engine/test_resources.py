@@ -1,0 +1,209 @@
+"""Unit and property tests for weighted max-min fair allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.resources import (
+    MachineSpec,
+    Resource,
+    ResourceKind,
+    ShareRequest,
+    allocate_fair_shares,
+)
+from repro.errors import CapacityError
+
+CPU = ResourceKind.CPU
+DISK = ResourceKind.DISK
+
+
+def _caps(cpu=4.0, disk=4.0):
+    return {CPU: cpu, DISK: disk}
+
+
+class TestMachineSpec:
+    def test_default_capacities_positive(self):
+        spec = MachineSpec()
+        assert spec.cpu_capacity > 0
+        assert spec.disk_capacity > 0
+        assert spec.memory_mb > 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            MachineSpec(cpu_capacity=0.0)
+
+    def test_rate_capacities_excludes_memory(self):
+        caps = MachineSpec().rate_capacities()
+        assert set(caps) == {CPU, DISK}
+
+
+class TestShareRequest:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ShareRequest("q", -1.0, {CPU: 1.0})
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ShareRequest("q", 1.0, {CPU: 1.0}, speed_cap=-0.1)
+
+    def test_bottleneck_demand(self):
+        req = ShareRequest("q", 1.0, {CPU: 2.0, DISK: 5.0})
+        assert req.bottleneck_demand == 5.0
+
+
+class TestAllocation:
+    def test_single_request_runs_at_cap(self):
+        req = ShareRequest("q", 1.0, {CPU: 4.0, DISK: 2.0}, speed_cap=0.25)
+        result = allocate_fair_shares([req], _caps())
+        assert result["q"].speed == pytest.approx(0.25)
+        assert result["q"].usage[CPU] == pytest.approx(1.0)
+        assert result["q"].usage[DISK] == pytest.approx(0.5)
+
+    def test_equal_weights_equal_speeds_on_shared_bottleneck(self):
+        requests = [
+            ShareRequest(i, 1.0, {CPU: 8.0}, speed_cap=1.0) for i in range(4)
+        ]
+        result = allocate_fair_shares(requests, _caps(cpu=4.0))
+        speeds = [result[i].speed for i in range(4)]
+        assert all(s == pytest.approx(speeds[0]) for s in speeds)
+        # total CPU usage == capacity
+        assert sum(result[i].usage[CPU] for i in range(4)) == pytest.approx(4.0)
+
+    def test_weights_proportional_when_saturated(self):
+        requests = [
+            ShareRequest("a", 3.0, {CPU: 10.0}, speed_cap=10.0),
+            ShareRequest("b", 1.0, {CPU: 10.0}, speed_cap=10.0),
+        ]
+        result = allocate_fair_shares(requests, _caps(cpu=4.0))
+        assert result["a"].speed / result["b"].speed == pytest.approx(3.0)
+
+    def test_capped_request_releases_capacity_to_others(self):
+        requests = [
+            ShareRequest("capped", 1.0, {CPU: 1.0}, speed_cap=0.5),
+            ShareRequest("hungry", 1.0, {CPU: 1.0}, speed_cap=100.0),
+        ]
+        result = allocate_fair_shares(requests, _caps(cpu=4.0))
+        assert result["capped"].speed == pytest.approx(0.5)
+        assert result["hungry"].speed == pytest.approx(3.5)
+
+    def test_zero_cap_gets_zero(self):
+        requests = [ShareRequest("paused", 1.0, {CPU: 1.0}, speed_cap=0.0)]
+        result = allocate_fair_shares(requests, _caps())
+        assert result["paused"].speed == 0.0
+
+    def test_zero_weight_gets_zero(self):
+        requests = [ShareRequest("zero", 0.0, {CPU: 1.0}, speed_cap=1.0)]
+        result = allocate_fair_shares(requests, _caps())
+        assert result["zero"].speed == 0.0
+
+    def test_no_demand_runs_at_cap(self):
+        requests = [ShareRequest("free", 1.0, {}, speed_cap=0.7)]
+        result = allocate_fair_shares(requests, _caps())
+        assert result["free"].speed == pytest.approx(0.7)
+
+    def test_disjoint_resources_do_not_interfere(self):
+        requests = [
+            ShareRequest("cpu-bound", 1.0, {CPU: 2.0}, speed_cap=0.5),
+            ShareRequest("io-bound", 1.0, {DISK: 2.0}, speed_cap=0.5),
+        ]
+        result = allocate_fair_shares(requests, _caps(cpu=1.0, disk=1.0))
+        assert result["cpu-bound"].speed == pytest.approx(0.5)
+        assert result["io-bound"].speed == pytest.approx(0.5)
+
+    def test_multi_resource_bottleneck_binding(self):
+        # both queries need both resources; disk is the scarce one
+        requests = [
+            ShareRequest(i, 1.0, {CPU: 1.0, DISK: 4.0}, speed_cap=1.0)
+            for i in range(2)
+        ]
+        result = allocate_fair_shares(requests, _caps(cpu=8.0, disk=4.0))
+        # disk: 2 queries * speed * 4 <= 4 -> speed 0.5 each
+        for i in range(2):
+            assert result[i].speed == pytest.approx(0.5)
+            assert result[i].usage[DISK] == pytest.approx(2.0)
+
+    def test_empty_request_list(self):
+        assert allocate_fair_shares([], _caps()) == {}
+
+
+class TestAllocationProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=10.0),    # weight
+                st.floats(min_value=0.0, max_value=20.0),    # cpu demand
+                st.floats(min_value=0.0, max_value=20.0),    # disk demand
+                st.floats(min_value=0.0, max_value=2.0),     # cap
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_and_cap_never_violated(self, rows):
+        requests = [
+            ShareRequest(i, w, {CPU: c, DISK: d}, speed_cap=cap)
+            for i, (w, c, d, cap) in enumerate(rows)
+        ]
+        caps = _caps(cpu=4.0, disk=3.0)
+        result = allocate_fair_shares(requests, caps)
+        total = {CPU: 0.0, DISK: 0.0}
+        for i, (w, c, d, cap) in enumerate(rows):
+            alloc = result[i]
+            assert alloc.speed <= cap + 1e-6
+            assert alloc.speed >= 0.0
+            for kind, used in alloc.usage.items():
+                total[kind] += used
+        assert total[CPU] <= caps[CPU] + 1e-6
+        assert total[DISK] <= caps[DISK] + 1e-6
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_saturated_identical_demands_share_by_weight(self, weights):
+        requests = [
+            ShareRequest(i, w, {CPU: 10.0}, speed_cap=100.0)
+            for i, w in enumerate(weights)
+        ]
+        result = allocate_fair_shares(requests, _caps(cpu=2.0))
+        speeds = [result[i].speed for i in range(len(weights))]
+        # speeds proportional to weights
+        base = speeds[0] / weights[0]
+        for speed, weight in zip(speeds, weights):
+            assert speed / weight == pytest.approx(base, rel=1e-6)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_work_conservation_when_saturated(self, n):
+        requests = [
+            ShareRequest(i, 1.0, {CPU: 5.0}, speed_cap=100.0) for i in range(n)
+        ]
+        result = allocate_fair_shares(requests, _caps(cpu=4.0))
+        used = sum(result[i].usage[CPU] for i in range(n))
+        assert used == pytest.approx(4.0, rel=1e-6)
+
+
+class TestResourceBookkeeping:
+    def test_utilization_integral(self):
+        resource = Resource(kind=CPU, capacity=4.0)
+        resource.record(0.0, 4.0)
+        resource.record(5.0, 0.0)
+        assert resource.utilization(10.0) == pytest.approx(0.5)
+
+    def test_usage_clamped_to_capacity(self):
+        resource = Resource(kind=CPU, capacity=2.0)
+        resource.record(0.0, 100.0)
+        assert resource.instantaneous_usage == 2.0
+
+    def test_window_marks(self):
+        resource = Resource(kind=CPU, capacity=1.0)
+        resource.record(0.0, 1.0)
+        resource.mark(10.0)
+        resource.record(10.0, 0.0)
+        assert resource.utilization(20.0, since=10.0) == pytest.approx(0.0)
+        assert resource.utilization(20.0) == pytest.approx(0.5)

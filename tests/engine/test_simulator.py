@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.simulator import Event, Simulator
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_at_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(2.0, lambda: order.append("b"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+        assert sim.now == 5.5
+
+    def test_fifo_tie_breaking_at_equal_times(self):
+        sim = Simulator()
+        order = []
+        for index in range(10):
+            sim.schedule_at(1.0, lambda i=index: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_schedule_relative_delay(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(1.0, lambda: sim.schedule(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_fired == 3
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        handle = sim.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_includes_events_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run_until(2.0)
+        assert fired == [2]
+
+    def test_run_until_event_storm_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule_at(0.5, rearm)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_run_event_storm_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.1, rearm)
+
+        sim.schedule_at(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestPeriodic:
+    def test_periodic_fires_at_period(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(1.0, lambda: times.append(sim.now))
+        sim.run_until(3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_periodic_custom_start(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(2.0, lambda: times.append(sim.now), start=0.5)
+        sim.run_until(5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_periodic_stop(self):
+        sim = Simulator()
+        times = []
+        process = sim.schedule_periodic(1.0, lambda: times.append(sim.now))
+        sim.run_until(2.0)
+        process.stop()
+        sim.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+    def test_periodic_invalid_period(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = Simulator(seed=3).rng("x").random(5)
+        b = Simulator(seed=3).rng("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_streams_differ(self):
+        sim = Simulator(seed=3)
+        assert list(sim.rng("x").random(5)) != list(sim.rng("y").random(5))
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).rng("x").random(5)
+        b = Simulator(seed=2).rng("x").random(5)
+        assert list(a) != list(b)
+
+    def test_stream_is_cached(self):
+        sim = Simulator()
+        assert sim.rng("x") is sim.rng("x")
+
+    def test_stream_independent_of_creation_order(self):
+        first = Simulator(seed=5)
+        values_x = list(first.rng("x").random(3))
+        second = Simulator(seed=5)
+        second.rng("y")  # create another stream first
+        assert list(second.rng("x").random(3)) == values_x
+
+
+class TestEventOrdering:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    def test_event_ordering_dataclass(self):
+        early = Event(time=1.0, seq=0, action=lambda: None)
+        late = Event(time=2.0, seq=1, action=lambda: None)
+        tie = Event(time=1.0, seq=2, action=lambda: None)
+        assert early < late
+        assert early < tie

@@ -1,0 +1,189 @@
+"""Tests for query kill rules and the fuzzy execution controller."""
+
+import pytest
+
+from repro.core.manager import WorkloadManager
+from repro.core.policy import Threshold, ThresholdAction, ThresholdKind
+from repro.engine.query import QueryState
+from repro.engine.resources import MachineSpec
+from repro.errors import ConfigurationError
+from repro.execution.cancellation import (
+    KillRule,
+    QueryKillController,
+    elapsed_time_kill,
+)
+from repro.execution.krompass import FuzzyExecutionController, _ramp
+
+from tests.conftest import make_query
+
+
+def _manager(sim, controllers, control_period=1.0):
+    return WorkloadManager(
+        sim,
+        machine=MachineSpec(cpu_capacity=4, disk_capacity=4, memory_mb=4096),
+        execution_controllers=controllers,
+        control_period=control_period,
+    )
+
+
+class TestKillRules:
+    def test_long_runner_killed(self, sim):
+        controller = QueryKillController([elapsed_time_kill(limit=5.0)])
+        manager = _manager(sim, [controller])
+        hog = make_query(cpu=100.0, io=0.0)
+        manager.submit(hog)
+        manager.run(horizon=7.0, drain=0.0)
+        assert hog.state is QueryState.KILLED
+        assert controller.kill_events
+        assert manager.metrics.stats_for(None).kills == 1
+
+    def test_short_queries_spared(self, sim):
+        controller = QueryKillController([elapsed_time_kill(limit=5.0)])
+        manager = _manager(sim, [controller])
+        ok = make_query(cpu=2.0, io=0.0)
+        manager.submit(ok)
+        manager.run(horizon=7.0, drain=0.0)
+        assert ok.state is QueryState.COMPLETED
+
+    def test_kill_and_resubmit_requeues_clone(self, sim):
+        controller = QueryKillController(
+            [elapsed_time_kill(limit=2.0, resubmit=True, resubmit_delay=1.0)]
+        )
+        manager = _manager(sim, [controller])
+        hog = make_query(cpu=4.0, io=0.0)
+        manager.submit(hog)
+        manager.run(horizon=12.0, drain=0.0)
+        assert hog.state is QueryState.KILLED
+        # the clone was resubmitted... and killed again (same rule), so
+        # at least one extra submission happened
+        assert manager.submitted_count >= 2
+        assert controller.kill_events[0][2] is True
+
+    def test_priority_guard(self, sim):
+        controller = QueryKillController(
+            [elapsed_time_kill(limit=2.0, max_priority=1)]
+        )
+        manager = _manager(sim, [controller])
+        vip = make_query(cpu=10.0, io=0.0, priority=3)
+        peasant = make_query(cpu=10.0, io=0.0, priority=1)
+        manager.submit(vip)
+        manager.submit(peasant)
+        manager.run(horizon=5.0, drain=30.0)
+        assert peasant.state is QueryState.KILLED
+        assert vip.state is QueryState.COMPLETED
+
+    def test_progress_guard_spares_nearly_done(self, sim):
+        controller = QueryKillController(
+            [elapsed_time_kill(limit=5.0, spare_over_progress=0.8)]
+        )
+        manager = _manager(sim, [controller])
+        # 6s query: at the 5s threshold it is 83% done -> spared (§5.2)
+        nearly = make_query(cpu=6.0, io=0.0)
+        manager.submit(nearly)
+        manager.run(horizon=8.0, drain=0.0)
+        assert nearly.state is QueryState.COMPLETED
+
+    def test_cpu_time_threshold(self, sim):
+        rule = KillRule(
+            threshold=Threshold(
+                ThresholdKind.CPU_TIME, 2.0, ThresholdAction.STOP_EXECUTION
+            )
+        )
+        controller = QueryKillController([rule])
+        manager = _manager(sim, [controller])
+        burner = make_query(cpu=10.0, io=0.0)
+        manager.submit(burner)
+        manager.run(horizon=5.0, drain=0.0)
+        assert burner.state is QueryState.KILLED
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryKillController([])
+        with pytest.raises(ConfigurationError):
+            KillRule(
+                threshold=Threshold(
+                    ThresholdKind.ELAPSED_TIME, 1.0, ThresholdAction.DEMOTE
+                )
+            )
+
+
+class TestFuzzyRamp:
+    def test_ramp_shape(self):
+        assert _ramp(0.0, 1.0, 2.0) == 0.0
+        assert _ramp(1.5, 1.0, 2.0) == pytest.approx(0.5)
+        assert _ramp(3.0, 1.0, 2.0) == 1.0
+
+    def test_degenerate_ramp(self):
+        assert _ramp(5.0, 2.0, 2.0) == 1.0
+        assert _ramp(1.0, 2.0, 2.0) == 0.0
+
+
+class TestFuzzyController:
+    def _controller(self):
+        return FuzzyExecutionController(
+            long_running_onset=2.0, long_running_full=10.0, max_priority=2
+        )
+
+    def test_assessment_components(self, sim):
+        controller = self._controller()
+        manager = _manager(sim, [controller])
+        hog = make_query(cpu=200.0, io=0.0, priority=1)
+        manager.submit(hog)
+        sim.run_until(6.0)
+        assessment = controller.assess(hog, manager.context)
+        assert 0.0 < assessment.long_running < 1.0
+        assert assessment.low_priority == 1.0
+        assert assessment.little_progress > 0.9
+        assert assessment.score > 0.0
+
+    def test_high_priority_never_touched(self, sim):
+        controller = self._controller()
+        manager = _manager(sim, [controller])
+        vip = make_query(cpu=500.0, io=0.0, priority=3)
+        manager.submit(vip)
+        manager.run(horizon=30.0, drain=0.0)
+        assert vip.state is QueryState.RUNNING
+        assert controller.actions == []
+
+    def test_problem_query_eventually_killed(self, sim):
+        controller = self._controller()
+        manager = _manager(sim, [controller])
+        hog = make_query(cpu=2000.0, io=0.0, priority=1)
+        manager.submit(hog)
+        manager.run(horizon=60.0, drain=0.0)
+        kinds = {action for _, _, action in controller.actions}
+        assert hog.state is QueryState.KILLED
+        assert "kill" in kinds or "kill_and_resubmit" in kinds
+
+    def test_moderate_problem_reprioritized_first(self, sim):
+        controller = FuzzyExecutionController(
+            long_running_onset=1.0,
+            long_running_full=100.0,
+            reprioritize_band=(0.05, 0.6),
+            resubmit_band=(0.9, 0.95),
+            max_priority=2,
+        )
+        manager = _manager(sim, [controller])
+        hog = make_query(cpu=100.0, io=0.0, priority=1)
+        manager.submit(hog)
+        manager.run(horizon=20.0, drain=0.0)
+        kinds = [action for _, _, action in controller.actions]
+        assert "reprioritize" in kinds
+        assert manager.engine.weight_of(hog.query_id) < 1.0
+
+    def test_reprioritization_bounded(self, sim):
+        controller = FuzzyExecutionController(
+            long_running_onset=0.5,
+            long_running_full=50.0,
+            reprioritize_band=(0.01, 0.6),
+            resubmit_band=(0.95, 0.99),
+        )
+        manager = _manager(sim, [controller], control_period=0.5)
+        hog = make_query(cpu=1000.0, io=0.0, priority=1)
+        manager.submit(hog)
+        manager.run(horizon=30.0, drain=0.0)
+        halvings = sum(
+            1 for _, qid, a in controller.actions if a == "reprioritize"
+        )
+        assert halvings <= 3
+        assert manager.engine.weight_of(hog.query_id) >= 0.05

@@ -1,0 +1,149 @@
+"""Unit and property tests for the from-scratch learners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def _two_blobs(n=100, seed=0, separation=5.0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 1.0, size=(n, 2))
+    b = rng.normal(separation, 1.0, size=(n, 2))
+    X = np.vstack([a, b])
+    y = np.array(["a"] * n + ["b"] * n)
+    return X, y
+
+
+class TestTreeClassifier:
+    def test_separable_blobs_high_accuracy(self):
+        X, y = _two_blobs()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert tree.accuracy(X, y) > 0.95
+
+    def test_single_class_predicts_it(self):
+        tree = DecisionTreeClassifier().fit([[0.0], [1.0]], ["x", "x"])
+        assert tree.predict([[0.5]]) == ["x"]
+
+    def test_max_depth_respected(self):
+        X, y = _two_blobs(separation=1.0)
+        tree = DecisionTreeClassifier(max_depth=2, min_samples_leaf=1).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        X = [[float(i)] for i in range(10)]
+        y = ["a"] * 5 + ["b"] * 5
+        tree = DecisionTreeClassifier(min_samples_leaf=5).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit([[1.0]], [])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict([[1.0]])
+
+    def test_nested_splits_need_depth_two(self):
+        # greedy CART: first split on x0, then on x1 within the right half
+        X = [[0, 0], [0, 1], [1, 0], [1, 1]] * 10
+        y = ["a", "a", "b", "c"] * 10
+        tree = DecisionTreeClassifier(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert tree.accuracy(X, y) == 1.0
+        assert tree.depth() == 2
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_training_points_mostly_memorized(self, n):
+        rng = np.random.default_rng(n)
+        X = rng.uniform(0, 10, size=(n, 1))
+        y = (X[:, 0] > 5).astype(str)
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=1).fit(X, y)
+        assert tree.accuracy(X, y) == 1.0
+
+
+class TestTreeRegressor:
+    def test_fits_step_function(self):
+        X = [[float(i)] for i in range(20)]
+        y = [0.0] * 10 + [10.0] * 10
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=2).fit(X, y)
+        assert tree.predict([[2.0]])[0] == pytest.approx(0.0)
+        assert tree.predict([[15.0]])[0] == pytest.approx(10.0)
+
+    def test_mean_absolute_error(self):
+        X = [[0.0], [1.0], [10.0], [11.0]]
+        y = [0.0, 0.0, 8.0, 8.0]
+        tree = DecisionTreeRegressor(min_samples_leaf=2).fit(X, y)
+        assert tree.mean_absolute_error(X, y) < 1.0
+
+    def test_constant_target_is_pure(self):
+        tree = DecisionTreeRegressor().fit([[0.0], [1.0], [2.0], [3.0]], [5.0] * 4)
+        assert tree.depth() == 0
+        assert tree.predict([[99.0]])[0] == 5.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=-100, max_value=100),
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_within_target_range(self, points):
+        X = [[x] for x, _ in points]
+        y = [t for _, t in points]
+        tree = DecisionTreeRegressor(min_samples_leaf=1).fit(X, y)
+        predictions = tree.predict(X)
+        assert all(min(y) - 1e-9 <= p <= max(y) + 1e-9 for p in predictions)
+
+
+class TestNaiveBayes:
+    def test_separable_blobs_high_accuracy(self):
+        X, y = _two_blobs()
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.accuracy(X, y) > 0.95
+
+    def test_priors_influence_ties(self):
+        # overlapping classes with skewed priors: the majority wins at
+        # the midpoint
+        X = [[0.0]] * 90 + [[1.0]] * 10
+        y = ["major"] * 90 + ["minor"] * 10
+        model = GaussianNaiveBayes(var_smoothing=1e-3).fit(X, y)
+        assert model.predict_one([0.5]) == "major"
+
+    def test_predict_proba_sums_to_one(self):
+        X, y = _two_blobs(n=30)
+        model = GaussianNaiveBayes().fit(X, y)
+        proba = model.predict_proba_one([2.5, 2.5])
+        assert sum(proba.values()) == pytest.approx(1.0)
+        assert set(proba) == {"a", "b"}
+
+    def test_constant_feature_does_not_crash(self):
+        X = [[1.0, 5.0], [1.0, 6.0], [1.0, 1.0], [1.0, 0.0]]
+        y = ["hi", "hi", "lo", "lo"]
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict_one([1.0, 5.5]) == "hi"
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict_one([1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit([[1.0]], [])
+
+    @given(st.floats(min_value=3.0, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_far_point_classified_to_nearest_blob(self, offset):
+        X, y = _two_blobs(n=50, separation=10.0)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict_one([-offset, -offset]) == "a"
+        assert model.predict_one([10 + offset, 10 + offset]) == "b"

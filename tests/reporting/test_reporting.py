@@ -1,0 +1,147 @@
+"""Tests for the table and figure renderers."""
+
+import pytest
+
+from repro.reporting.figures import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    render_figure1,
+)
+from repro.reporting.tables import (
+    TextTable,
+    all_tables,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["a", "b"], [5, 5])
+        table.add_row("x", "y")
+        text = table.render("Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows same width
+
+    def test_wrapping(self):
+        table = TextTable(["col"], [8])
+        table.add_row("a very long cell that needs wrapping")
+        assert len(table.render().splitlines()) > 4
+
+    def test_cell_count_validation(self):
+        table = TextTable(["a", "b"], [5, 5])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_header_width_mismatch(self):
+        with pytest.raises(ValueError):
+            TextTable(["a"], [5, 5])
+
+
+class TestPaperTables:
+    def test_table1_contains_three_controls(self):
+        text = render_table1()
+        for name in ("Admission Control", "Scheduling", "Execution Control"):
+            assert name in text
+
+    @staticmethod
+    def _tokens(text):
+        cleaned = text.replace("|", " ").replace(",", " ").replace(".", " ")
+        return set(cleaned.split())
+
+    def test_table2_contains_all_rows(self):
+        tokens = self._tokens(render_table2())
+        for word in (
+            "Query", "Cost", "MPLs", "Conflict", "Ratio",
+            "Transaction", "Throughput", "Indicators",
+        ):
+            assert word in tokens
+        assert "Parameter" in tokens
+        assert "Monitor" in tokens
+
+    def test_table3_contains_all_rows(self):
+        tokens = self._tokens(render_table3())
+        for word in (
+            "Priority", "Aging", "Policy", "Driven", "Resource",
+            "Allocation", "Kill", "Stop-and-Restart", "Throttling",
+        ):
+            assert word in tokens
+
+    def test_table4_contains_systems_and_classes(self):
+        tokens = self._tokens(render_table4())
+        for word in (
+            "IBM", "DB2", "Microsoft", "SQL", "Teradata",
+            "Static", "Characterization", "Threshold-based", "Admission",
+        ):
+            assert word in tokens
+
+    def test_table4_scheduling_absent(self):
+        """§4.1.4: no commercial system implements scheduling."""
+        text = render_table4()
+        assert "Queue Management" not in text
+        assert "Query Restructuring" not in text
+
+    def test_table5_contains_research_rows(self):
+        text = render_table5()
+        for name in (
+            "Niu et al.",
+            "Parekh et al.",
+            "Powley et al.",
+            "Chandramouli et al.",
+            "Krompass et al.",
+        ):
+            assert name in text
+        assert "Query Suspend-and-Resume" in text
+
+    def test_all_tables_concatenates_five(self):
+        text = all_tables()
+        assert text.count("TABLE ") == 5
+
+
+class TestFigures:
+    def test_figure1_reproduces_tree(self):
+        text = render_figure1()
+        assert "FIGURE 1" in text
+        assert "Workload Characterization" in text
+        assert "└──" in text
+
+    def test_figure1_annotated(self):
+        text = render_figure1(annotate_descriptions=True)
+        assert "Class definitions" in text
+        assert "§3" in text
+
+    def test_line_chart_renders_series(self):
+        chart = ascii_line_chart(
+            [0, 1, 2, 3],
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            title="demo",
+            width=20,
+            height=6,
+        )
+        assert "demo" in chart
+        assert "* up" in chart
+        assert "o down" in chart
+
+    def test_line_chart_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {"a": [1.0]})
+
+    def test_line_chart_flat_series(self):
+        chart = ascii_line_chart([0, 1], {"flat": [1.0, 1.0]})
+        assert "flat" in chart
+
+    def test_bar_chart(self):
+        chart = ascii_bar_chart({"fcfs": 2.0, "utility": 0.5}, unit="s")
+        assert "fcfs" in chart
+        assert "#" in chart
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})

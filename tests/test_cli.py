@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestFigure:
+    def test_figure(self, capsys):
+        assert main(["figure"]) == 0
+        out = capsys.readouterr().out
+        assert "FIGURE 1" in out
+        assert "Execution Control" in out
+
+    def test_figure_annotated(self, capsys):
+        assert main(["figure", "--annotate"]) == 0
+        assert "Class definitions" in capsys.readouterr().out
+
+
+class TestTables:
+    def test_all_tables(self, capsys):
+        assert main(["tables"]) == 0
+        assert capsys.readouterr().out.count("TABLE ") == 5
+
+    @pytest.mark.parametrize("which", ["1", "2", "3", "4", "5"])
+    def test_single_table(self, which, capsys):
+        assert main(["tables", which]) == 0
+        assert f"TABLE {which}" in capsys.readouterr().out
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "9"])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "7", "--horizon", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "oltp" in out
+        assert "xput" in out
+
+
+class TestClassify:
+    def test_classify_known_features(self, capsys):
+        code = main(
+            ["classify", "acts_at_runtime", "pauses_running_request"]
+        )
+        assert code == 0
+        assert "Request Throttling" in capsys.readouterr().out
+
+    def test_classify_unknown_feature(self, capsys):
+        assert main(["classify", "not_a_feature"]) == 2
+        assert "unknown feature" in capsys.readouterr().out
+
+    def test_classify_unmatched_set(self, capsys):
+        assert main(["classify", "uses_thresholds"]) == 1
+        assert "no taxonomy class" in capsys.readouterr().out
+
+    def test_features_listing(self, capsys):
+        assert main(["features"]) == 0
+        assert "ACTS_AT_RUNTIME" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,232 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These drive whole-pipeline invariants that unit tests can't state
+locally:
+
+* conservation — every submitted query is accounted for exactly once
+  (completed, rejected, killed, or still in flight);
+* no resource leaks — after all work drains, buffer pool and lock table
+  are empty;
+* timing sanity — end >= start >= submit for every completion, and
+  velocity ∈ [0, 1];
+* fair-share sanity — total engine resource usage never exceeds
+  capacity under arbitrary weight/throttle churn;
+* determinism — identical seeds produce identical outcome streams.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import FCFSDispatcher, WorkloadManager
+from repro.engine.executor import EngineConfig
+from repro.engine.query import QueryState
+from repro.engine.resources import MachineSpec, ResourceKind
+from repro.engine.simulator import Simulator
+
+from tests.conftest import make_query
+
+# query description: (cpu, io, mem, locks, priority, arrival offset)
+query_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=5.0),
+    st.floats(min_value=0.0, max_value=5.0),
+    st.floats(min_value=0.0, max_value=600.0),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=1, max_value=4),
+    st.floats(min_value=0.0, max_value=20.0),
+)
+
+
+def _run_pipeline(rows, mpl=None, hot_set=50, seed=1):
+    sim = Simulator(seed=seed)
+    manager = WorkloadManager(
+        sim,
+        machine=MachineSpec(cpu_capacity=2.0, disk_capacity=2.0, memory_mb=512.0),
+        engine_config=EngineConfig(hot_set_size=hot_set),
+        scheduler=FCFSDispatcher(max_concurrency=mpl),
+        control_period=1.0,
+    )
+    queries = []
+    for cpu, io, mem, locks, priority, offset in rows:
+        query = make_query(
+            cpu=cpu, io=io, mem=mem, locks=locks, priority=priority, sql="wl:q"
+        )
+        queries.append(query)
+        sim.schedule_at(offset, lambda q=query: manager.submit(q))
+    manager.run(horizon=25.0, drain=400.0)
+    return manager, queries, sim
+
+
+class TestConservation:
+    @given(st.lists(query_strategy, min_size=1, max_size=25))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_every_query_accounted_for_exactly_once(self, rows):
+        manager, queries, sim = _run_pipeline(rows)
+        terminal = 0
+        for query in queries:
+            # every query is terminal, or demonstrably still in flight
+            # (adversarial instances — tiny memory pool, abort storms —
+            # can legitimately outlast any fixed window)
+            if query.state in (
+                QueryState.COMPLETED,
+                QueryState.REJECTED,
+                QueryState.KILLED,
+            ):
+                terminal += 1
+            else:
+                in_engine = manager.engine.is_running(query.query_id)
+                in_queue = query in manager.scheduler.queued_queries()
+                pending_resubmit = query.state is QueryState.ABORTED
+                assert in_engine or in_queue or pending_resubmit, query
+                if in_engine:
+                    # in flight means still advancing: positive speed or
+                    # a pending wake-up (lock wait / reaper event)
+                    entry = manager.engine._running[query.query_id]
+                    assert (
+                        entry.speed > 0
+                        or entry.blocked
+                        or sim.pending_events() > 0
+                    ), query
+        stats = manager.metrics.stats_for("wl")
+        assert stats.completions == sum(
+            1 for q in queries if q.state is QueryState.COMPLETED
+        )
+        # exactly one log record per terminal disposition
+        assert len(manager.query_log) == terminal
+
+    @given(st.lists(query_strategy, min_size=1, max_size=25))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_no_resource_leaks_after_drain(self, rows):
+        manager, _, _ = _run_pipeline(rows)
+        # resources reconcile exactly with in-flight work: committed
+        # memory belongs to running queries and every held lock belongs
+        # to a registered running transaction (nothing orphaned)
+        running = manager.engine.running_queries()
+        expected_memory = sum(q.true_cost.memory_mb for q in running)
+        assert manager.engine.buffer_pool.committed_mb == pytest.approx(
+            expected_memory
+        )
+        running_ids = {q.query_id for q in running}
+        lock_manager = manager.engine.lock_manager
+        for item, holder in lock_manager._holders.items():
+            assert holder in running_ids, f"orphaned lock {item} -> {holder}"
+        if not running:
+            assert lock_manager.locks_held() == 0
+
+    @given(st.lists(query_strategy, min_size=1, max_size=20))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_timing_monotonicity_and_velocity_bounds(self, rows):
+        manager, queries, sim = _run_pipeline(rows)
+        for query in queries:
+            if query.state is not QueryState.COMPLETED:
+                continue
+            assert query.submit_time is not None
+            assert query.start_time is not None
+            assert query.end_time is not None
+            assert query.submit_time <= query.start_time + 1e-9
+            assert query.start_time <= query.end_time + 1e-9
+            # completion can never beat the unloaded duration (modulo
+            # the engine's 1ns instant-completion epsilon and restarts)
+            served = query.end_time - query.start_time
+            floor = query.true_cost.nominal_duration * (1 - 1e-6) - 1e-9
+            assert served >= floor or query.restarts > 0
+            velocity = query.execution_velocity(sim.now)
+            assert 0.0 <= velocity <= 1.0
+
+
+class TestMplInvariant:
+    @given(
+        st.lists(query_strategy, min_size=3, max_size=20),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_running_count_never_exceeds_mpl(self, rows, mpl):
+        sim = Simulator(seed=2)
+        manager = WorkloadManager(
+            sim,
+            machine=MachineSpec(cpu_capacity=2.0, disk_capacity=2.0, memory_mb=512.0),
+            scheduler=FCFSDispatcher(max_concurrency=mpl),
+        )
+        peak = [0]
+        original_start = manager.engine.start
+
+        def tracking_start(query, weight=1.0):
+            original_start(query, weight)
+            peak[0] = max(peak[0], manager.engine.running_count)
+
+        manager.engine.start = tracking_start
+        for cpu, io, mem, locks, priority, offset in rows:
+            query = make_query(cpu=cpu, io=io, mem=mem, priority=priority)
+            sim.schedule_at(offset, lambda q=query: manager.submit(q))
+        manager.run(horizon=25.0, drain=200.0)
+        assert peak[0] <= mpl
+
+
+class TestEngineCapacity:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=10.0),   # cpu
+                st.floats(min_value=0.0, max_value=10.0),   # io
+                st.floats(min_value=0.1, max_value=8.0),    # weight
+                st.floats(min_value=0.0, max_value=1.0),    # throttle
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_instantaneous_usage_within_capacity(self, rows):
+        from repro.engine.executor import ExecutionEngine
+
+        sim = Simulator(seed=3)
+        engine = ExecutionEngine(
+            sim, MachineSpec(cpu_capacity=3.0, disk_capacity=2.0, memory_mb=1e6)
+        )
+        for cpu, io, weight, throttle in rows:
+            query = make_query(cpu=cpu, io=io, mem=1.0)
+            query.transition(QueryState.SUBMITTED)
+            query.submit_time = sim.now
+            engine.start(query, weight=weight)
+            engine.set_throttle(query.query_id, throttle)
+        for kind, capacity in (
+            (ResourceKind.CPU, 3.0),
+            (ResourceKind.DISK, 2.0),
+        ):
+            assert engine.resources[kind].instantaneous_usage <= capacity + 1e-6
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_outcome(self, seed):
+        def run():
+            rows = [
+                (0.5, 0.5, 50.0, 2, 2, 1.0),
+                (2.0, 0.1, 100.0, 0, 1, 0.5),
+                (0.1, 1.5, 10.0, 4, 3, 2.0),
+            ]
+            manager, queries, sim = _run_pipeline(rows, seed=seed)
+            return [
+                (q.state.value, q.end_time) for q in queries
+            ]
+
+        assert run() == run()
