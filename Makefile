@@ -1,0 +1,28 @@
+# Convenience targets for the dbwm reproduction.
+
+PY ?= python
+export PYTHONPATH := src:.
+
+.PHONY: test bench bench-full bench-baseline artifacts
+
+test:
+	$(PY) -m pytest tests/ -q
+
+# Quick perf-regression gate: scaled-down macro-scenarios, fails if any
+# scenario runs >2x slower than the committed BENCH_core.json or if a
+# seeded digest changed (determinism break).
+bench:
+	$(PY) -m benchmarks.perf
+
+# Full macro-scenarios (the committed before/after record).
+bench-full:
+	$(PY) -m benchmarks.perf --mode full
+
+# Re-record the committed baseline after an intentional perf change.
+bench-baseline:
+	$(PY) -m benchmarks.perf --update-baseline
+	$(PY) -m benchmarks.perf --mode full --update-baseline
+
+# Regenerate every paper artifact under benchmarks/results/.
+artifacts:
+	$(PY) -m pytest benchmarks/ -q

@@ -1,0 +1,41 @@
+"""Perf-regression benchmark harness for the simulator hot paths.
+
+Unlike the ``benchmarks/test_bench_*`` suites — which reproduce the
+paper's tables, figures and validation experiments — this package times
+the *simulator itself* on canonical macro-scenarios and records the
+numbers in ``benchmarks/perf/BENCH_core.json`` so every future PR has a
+perf trajectory to regress against.
+
+Three scenarios cover the three hot paths:
+
+* ``high_mpl``  — an EXP1-style closed-population MPL sweep at high
+  load (the fair-share reallocation path: tens of thousands of
+  start/finish reallocations over a large running set);
+* ``mixed_pipeline`` — OLTP + BI through the full manager pipeline with
+  execution controllers (the per-tick running-set scan path);
+* ``sla_polling`` — a metrics-heavy run where SLA attainment,
+  percentiles and windowed throughput are polled every tick (the
+  streaming-metrics path).
+
+Every scenario is seeded and returns a SHA-256 *outcome digest* over
+the full-precision per-workload outcome streams (response times, queue
+delays, velocities, completion times, counters) plus every metric value
+read while polling.  Identical digests mean bit-identical simulated
+behaviour — the determinism guarantee the engine optimizations must
+preserve.
+
+Run it::
+
+    python -m benchmarks.perf                 # quick mode + regression gate
+    python -m benchmarks.perf --mode full     # full macro-scenarios
+    python -m benchmarks.perf --update-baseline   # rewrite BENCH_core.json
+
+or ``make bench`` for the quick regression gate.
+"""
+
+from benchmarks.perf.harness import (  # noqa: F401
+    BASELINE_PATH,
+    check_regression,
+    load_baseline,
+    run_suite,
+)

@@ -1,0 +1,142 @@
+"""Timing, digesting and regression-gating for the perf scenarios.
+
+The committed baseline lives at ``benchmarks/perf/BENCH_core.json``.
+Its ``quick`` section is what ``python -m benchmarks.perf`` (and ``make
+bench``) gates against: a scenario that takes more than
+``REGRESSION_FACTOR``× the committed wall-clock fails the gate.  The
+``full`` section records the macro-scenario numbers (≥50k completions
+on ``high_mpl``) plus the before/after history of the hot-path
+optimization work, so the perf trajectory of the simulator is part of
+the repository.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+from hashlib import sha256
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
+
+#: a quick-mode scenario slower than factor × committed baseline fails
+REGRESSION_FACTOR = 2.0
+
+
+def outcome_digest(manager) -> str:
+    """SHA-256 over a manager's full-precision outcome streams.
+
+    Covers, in deterministic order: final simulated time, counters, and
+    every per-workload outcome list (response times, queue delays,
+    velocities, completion times) at full float precision.  Two runs are
+    behaviourally identical iff their digests match.
+    """
+    h = sha256()
+    h.update(struct.pack("<d", manager.sim.now))
+    h.update(
+        struct.pack("<qq", manager.submitted_count, manager.rejected_count)
+    )
+    for name in sorted(manager.metrics.workloads()):
+        stats = manager.metrics.stats_for(name)
+        h.update(name.encode("utf-8"))
+        h.update(
+            struct.pack(
+                "<qqqqq",
+                stats.completions,
+                stats.rejections,
+                stats.kills,
+                stats.aborts,
+                stats.suspensions,
+            )
+        )
+        for series in (
+            stats.response_times,
+            stats.queue_delays,
+            stats.velocities,
+            stats.completion_times,
+        ):
+            h.update(struct.pack("<q", len(series)))
+            if series:
+                h.update(struct.pack(f"<{len(series)}d", *series))
+    return h.hexdigest()
+
+
+def run_suite(
+    mode: str = "quick",
+    repeat_for_determinism: bool = True,
+    log: Optional[Callable[[str], None]] = print,
+) -> Dict[str, Dict[str, object]]:
+    """Run every scenario; return ``{scenario: result}`` with timings.
+
+    With ``repeat_for_determinism`` the first scenario is run twice and
+    the digests compared, recording ``run_to_run_identical``.
+    """
+    from benchmarks.perf.scenarios import SCENARIOS, quick_scale_for
+
+    scale = quick_scale_for(mode)
+    results: Dict[str, Dict[str, object]] = {}
+    for name, fn in SCENARIOS.items():
+        start = time.perf_counter()
+        result = fn(scale=scale)
+        result["wall_s"] = round(time.perf_counter() - start, 3)
+        result["mode"] = mode
+        if repeat_for_determinism:
+            rerun = fn(scale=scale)
+            result["run_to_run_identical"] = rerun["digest"] == result["digest"]
+        results[name] = result
+        if log is not None:
+            log(
+                f"  {name:>14}: {result['wall_s']:8.3f}s wall, "
+                f"{result['completed']:>7} completed, "
+                f"{result['events']:>8} events, digest {result['digest'][:12]}…"
+            )
+    return results
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> Optional[Dict]:
+    if not path.exists():
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_regression(
+    results: Dict[str, Dict[str, object]],
+    baseline: Dict,
+    factor: float = REGRESSION_FACTOR,
+    log: Optional[Callable[[str], None]] = print,
+) -> bool:
+    """True iff no scenario regressed beyond ``factor``× the baseline.
+
+    Also re-checks determinism: a digest recorded in the baseline for the
+    same mode must still match (the committed digests pin simulated
+    behaviour, not just speed).
+    """
+    ok = True
+    committed = baseline.get("quick", {})
+    for name, result in results.items():
+        base = committed.get(name)
+        if base is None:
+            continue
+        wall, base_wall = float(result["wall_s"]), float(base["wall_s"])
+        if base_wall > 0 and wall > factor * base_wall:
+            ok = False
+            if log:
+                log(
+                    f"PERF REGRESSION: {name} took {wall:.3f}s vs committed "
+                    f"{base_wall:.3f}s (>{factor:.1f}x)"
+                )
+        if base.get("digest") and base["digest"] != result["digest"]:
+            ok = False
+            if log:
+                log(
+                    f"DETERMINISM BREAK: {name} digest {result['digest'][:16]}… "
+                    f"!= committed {str(base['digest'])[:16]}…"
+                )
+        if result.get("run_to_run_identical") is False:
+            ok = False
+            if log:
+                log(f"DETERMINISM BREAK: {name} differs between two seeded runs")
+    return ok

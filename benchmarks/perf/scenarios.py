@@ -1,0 +1,245 @@
+"""The canonical macro-scenarios timed by the perf harness.
+
+Each scenario function takes a ``scale`` (1.0 = full mode) and returns a
+result dict with, at minimum::
+
+    {"completed": int, "submitted": int, "events": int,
+     "sim_time": float, "digest": str}
+
+``digest`` is a SHA-256 over the full-precision outcome streams (see
+:func:`benchmarks.perf.harness.outcome_digest`), so two runs with the
+same seed are bit-identical iff their digests match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from typing import Dict
+
+from benchmarks._scenarios import DEFAULT_MACHINE, build_manager, drive
+from benchmarks.perf.harness import outcome_digest
+from repro.core.interfaces import ExecutionController, ManagerContext
+from repro.core.manager import FCFSDispatcher
+from repro.core.sla import SLASet, response_time_sla
+from repro.core.policy import Threshold, ThresholdAction, ThresholdKind
+from repro.engine.simulator import Simulator
+from repro.execution.reprioritization import PriorityAgingController
+from repro.workloads.generator import Scenario, bi_workload, oltp_workload
+from repro.workloads.models import (
+    ClosedArrivals,
+    Constant,
+    Exponential,
+    RequestClass,
+    Uniform,
+    WorkloadSpec,
+)
+
+
+def _closed_spec(population: int, name: str = "closed") -> WorkloadSpec:
+    """A closed population of small jobs: high completion rates without
+    memory thrash, so the run exercises the reallocation path hard."""
+    job = RequestClass(
+        name="job",
+        cpu=Exponential(0.012),
+        io=Exponential(0.024),
+        memory_mb=Uniform(4.0, 16.0),
+        rows=Constant(1_000),
+    )
+    return WorkloadSpec(
+        name=name,
+        request_classes=((job, 1.0),),
+        arrivals=ClosedArrivals(population=population, think_time=Constant(0.01)),
+        priority=1,
+    )
+
+
+def run_high_mpl(scale: float = 1.0, seed: int = 7) -> Dict[str, object]:
+    """EXP1-style MPL sweep at high load.
+
+    Three sub-runs at increasing MPL over a large closed population; the
+    running set stays at the MPL ceiling throughout, so every completion
+    triggers a finish + replacement-start reallocation over dozens of
+    concurrent queries.  Full mode completes well over 50k queries.
+    """
+    horizon = max(10.0, 220.0 * scale)
+    sub_digests = []
+    completed = submitted = events = 0
+    sim_time = 0.0
+    for mpl in (16, 48, 96):
+        sim = Simulator(seed=seed + mpl)
+        manager = build_manager(
+            sim, scheduler=FCFSDispatcher(max_concurrency=mpl)
+        )
+        scenario = Scenario(specs=(_closed_spec(population=128),), horizon=horizon)
+        drive(manager, scenario)
+        stats = manager.metrics.stats_for("closed")
+        completed += stats.completions
+        submitted += manager.submitted_count
+        events += sim.events_fired
+        sim_time += sim.now
+        sub_digests.append(outcome_digest(manager))
+    digest = hashlib.sha256("".join(sub_digests).encode("ascii")).hexdigest()
+    return {
+        "completed": completed,
+        "submitted": submitted,
+        "events": events,
+        "sim_time": sim_time,
+        "digest": digest,
+    }
+
+
+def run_mixed_pipeline(scale: float = 1.0, seed: int = 11) -> Dict[str, object]:
+    """Mixed OLTP + BI through the full manager pipeline.
+
+    Open-arrival OLTP at high rate consolidated with heavy BI queries,
+    an MPL-limited dispatcher and a deadline reprioritizer scanning the
+    running set every control tick — the per-tick control-loop path.
+    """
+    horizon = max(10.0, 420.0 * scale)
+    sim = Simulator(seed=seed)
+    controller = PriorityAgingController(
+        thresholds=(
+            Threshold(ThresholdKind.ELAPSED_TIME, 10.0, ThresholdAction.DEMOTE),
+        ),
+        demote_cooldown=5.0,
+    )
+    manager = build_manager(
+        sim,
+        scheduler=FCFSDispatcher(max_concurrency=48),
+        controllers=(controller,),
+        control_period=0.5,
+    )
+    scenario = Scenario(
+        specs=(
+            oltp_workload(rate=60.0, priority=3),
+            bi_workload(
+                rate=0.4,
+                priority=1,
+                median_cpu=4.0,
+                median_io=8.0,
+                sigma=0.8,
+                memory_low=100.0,
+                memory_high=300.0,
+            ),
+        ),
+        horizon=horizon,
+    )
+    drive(manager, scenario)
+    completed = sum(
+        manager.metrics.stats_for(w).completions
+        for w in manager.metrics.workloads()
+    )
+    return {
+        "completed": completed,
+        "submitted": manager.submitted_count,
+        "events": sim.events_fired,
+        "sim_time": sim.now,
+        "digest": outcome_digest(manager),
+    }
+
+
+class _SLAPoller(ExecutionController):
+    """Polls every SLA-relevant metric each control tick and hashes the
+    values it reads, so the digest also proves the *metric readings*
+    (not just the outcome streams) are bit-identical across runs."""
+
+    def __init__(self) -> None:
+        self.polls = 0
+        self._hash = hashlib.sha256()
+
+    def _feed(self, value) -> None:
+        self._hash.update(
+            struct.pack("<d", float("nan") if value is None else float(value))
+        )
+
+    def control(self, context: ManagerContext) -> None:
+        self.polls += 1
+        now = context.now
+        attainment = context.metrics.attainment(context.slas, now)
+        for workload in sorted(attainment):
+            self._feed(attainment[workload])
+        for workload in sorted(context.metrics.workloads()):
+            stats = context.metrics.stats_for(workload)
+            measurements = stats.measurements(now, percentile=95.0)
+            for kind in sorted(measurements, key=lambda k: k.name):
+                self._feed(measurements[kind])
+            self._feed(stats.throughput(window=30.0, now=now))
+            self._feed(stats.mean_queue_delay())
+
+    def digest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def run_sla_polling(scale: float = 1.0, seed: int = 13) -> Dict[str, object]:
+    """Metrics-heavy SLA polling.
+
+    A steady two-class load with per-workload SLAs, polled four times a
+    second: every tick evaluates attainment, percentile/average response
+    times and windowed throughput over the ever-growing outcome history —
+    the streaming-metrics path.
+    """
+    horizon = max(10.0, 420.0 * scale)
+    sim = Simulator(seed=seed)
+    poller = _SLAPoller()
+    slas = SLASet(
+        [
+            response_time_sla("oltp", average=0.5, p95=2.0, velocity=0.3),
+            response_time_sla("bi", average=60.0, velocity=0.05),
+        ]
+    )
+    manager = build_manager(
+        sim,
+        scheduler=FCFSDispatcher(max_concurrency=32),
+        controllers=(poller,),
+        slas=slas,
+        control_period=0.25,
+    )
+    scenario = Scenario(
+        specs=(
+            oltp_workload(rate=40.0, priority=3),
+            bi_workload(rate=0.2, priority=1, median_cpu=3.0, median_io=6.0),
+        ),
+        horizon=horizon,
+    )
+    drive(manager, scenario)
+    completed = sum(
+        manager.metrics.stats_for(w).completions
+        for w in manager.metrics.workloads()
+    )
+    digest = hashlib.sha256(
+        (outcome_digest(manager) + poller.digest()).encode("ascii")
+    ).hexdigest()
+    return {
+        "completed": completed,
+        "submitted": manager.submitted_count,
+        "events": sim.events_fired,
+        "sim_time": sim.now,
+        "polls": poller.polls,
+        "digest": digest,
+    }
+
+
+SCENARIOS = {
+    "high_mpl": run_high_mpl,
+    "mixed_pipeline": run_mixed_pipeline,
+    "sla_polling": run_sla_polling,
+}
+
+#: scale used by ``--mode quick`` (the CI regression gate)
+QUICK_SCALE = 0.08
+
+
+def quick_scale_for(mode: str) -> float:
+    if mode == "full":
+        return 1.0
+    if mode == "quick":
+        return QUICK_SCALE
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def _check_finite(result: Dict[str, object]) -> None:
+    for key in ("sim_time",):
+        if not math.isfinite(float(result[key])):
+            raise RuntimeError(f"scenario produced non-finite {key}")

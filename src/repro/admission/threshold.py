@@ -77,7 +77,7 @@ class ThresholdAdmission(AdmissionController):
     def _workload_running(self, workload: Optional[str], context: ManagerContext) -> int:
         return sum(
             1
-            for q in context.engine.running_queries()
+            for q in context.engine.iter_running()
             if q.workload_name == workload
         )
 

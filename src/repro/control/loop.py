@@ -115,7 +115,7 @@ class AnalyzeStage:
             or observations.conflict_ratio > 1.5
         )
         problematic = []
-        for query in context.engine.running_queries():
+        for query in context.engine.iter_running():
             if query.priority > self.problem_priority:
                 continue
             started = query.start_time if query.start_time is not None else observations.time

@@ -266,12 +266,15 @@ class WorkloadManager:
             return
         self._pumping = True
         try:
-            for _ in range(10_000):  # safety bound against livelock
-                batch = self.scheduler.next_batch(self.context)
-                if not batch:
-                    break
-                for query in batch:
-                    self.engine.start(query, weight=self.weight_fn(query))
+            # A dispatch burst happens at one instant: coalesce the
+            # per-start fair-share reallocations into a single solve.
+            with self.engine.reallocation_batch():
+                for _ in range(10_000):  # safety bound against livelock
+                    batch = self.scheduler.next_batch(self.context)
+                    if not batch:
+                        break
+                    for query in batch:
+                        self.engine.start(query, weight=self.weight_fn(query))
         finally:
             self._pumping = False
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,18 @@ from repro.engine.query import Query
 
 @dataclass
 class WorkloadStats:
-    """Accumulated outcomes for one workload."""
+    """Accumulated outcomes for one workload.
+
+    The outcome series are **append-only**: the engine only ever adds
+    outcomes, never edits history.  That invariant is what makes the
+    streaming accessors cheap — numpy views and reduced statistics are
+    cached keyed on series length, so repeated reads between
+    completions are O(1), and every cached value is *recomputed* (never
+    incrementally updated) when the series grows.  Recomputing keeps
+    results bit-identical to the naive compute-on-every-read: an
+    incremental running mean would drift from numpy's pairwise
+    summation by ulps and break seeded reproducibility.
+    """
 
     workload: str
     completions: int = 0
@@ -34,37 +45,81 @@ class WorkloadStats:
     response_times: List[float] = field(default_factory=list)
     queue_delays: List[float] = field(default_factory=list)
     velocities: List[float] = field(default_factory=list)
-    completion_times: List[float] = field(default_factory=list)  # sorted
+    completion_times: List[float] = field(default_factory=list)  # non-decreasing
+    _cache: Dict[Hashable, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
+    def _array(self, name: str, values: List[float]) -> np.ndarray:
+        """Cached ndarray view of a series, rebuilt when it grew."""
+        key = ("arr", name)
+        arr = self._cache.get(key)
+        if arr is None or len(arr) != len(values):  # type: ignore[arg-type]
+            arr = np.asarray(values, dtype=float)
+            self._cache[key] = arr
+        return arr  # type: ignore[return-value]
+
+    def _reduced(
+        self,
+        name: str,
+        values: List[float],
+        compute: Callable[[np.ndarray], float],
+    ) -> Optional[float]:
+        """Cached scalar statistic, recomputed when the series grew."""
+        key = ("stat", name)
+        hit = self._cache.get(key)
+        n = len(values)
+        if hit is not None and hit[0] == n:  # type: ignore[index]
+            return hit[1]  # type: ignore[index]
+        value = compute(self._array(name, values)) if n else None
+        self._cache[key] = (n, value)
+        return value
+
     def mean_response_time(self) -> Optional[float]:
-        if not self.response_times:
-            return None
-        return float(np.mean(self.response_times))
+        return self._reduced(
+            "rt_mean", self.response_times, lambda a: float(np.mean(a))
+        )
 
     def percentile_response_time(self, percentile: float) -> Optional[float]:
-        if not self.response_times:
-            return None
-        return float(np.percentile(self.response_times, percentile))
+        return self._reduced(
+            f"rt_p{percentile}",
+            self.response_times,
+            lambda a: float(np.percentile(a, percentile)),
+        )
 
     def mean_velocity(self) -> Optional[float]:
-        if not self.velocities:
-            return None
-        return float(np.mean(self.velocities))
+        return self._reduced(
+            "vel_mean", self.velocities, lambda a: float(np.mean(a))
+        )
 
     def mean_queue_delay(self) -> Optional[float]:
-        if not self.queue_delays:
-            return None
-        return float(np.mean(self.queue_delays))
+        return self._reduced(
+            "qd_mean", self.queue_delays, lambda a: float(np.mean(a))
+        )
 
     def throughput(self, window: float, now: float) -> float:
         """Completions per second over the trailing ``window`` seconds."""
         if window <= 0 or now <= 0:
             return 0.0
         start = max(0.0, now - window)
-        # completion_times is kept sorted; count items in (start, now]
-        lo = bisect.bisect_right(self.completion_times, start)
-        return (len(self.completion_times) - lo) / min(window, now)
+        times = self.completion_times
+        # Sliding-window count: remember, per window size, where the
+        # last query's window began and advance from there (amortized
+        # O(1) for the monotone reads a control loop issues).  A query
+        # whose window starts earlier than the last one falls back to a
+        # fresh bisect; both paths count items in (start, now] exactly.
+        key = ("win", window)
+        state = self._cache.get(key)
+        n = len(times)
+        if state is not None and state[0] <= start and state[1] <= n:  # type: ignore[index]
+            lo = state[1]  # type: ignore[index]
+            while lo < n and times[lo] <= start:
+                lo += 1
+        else:
+            lo = bisect.bisect_right(times, start)
+        self._cache[key] = (start, lo)
+        return (n - lo) / min(window, now)
 
     def overall_throughput(self, now: float) -> float:
         return self.completions / now if now > 0 else 0.0
@@ -102,6 +157,8 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._stats: Dict[str, WorkloadStats] = {}
         self._samples: List[SystemSample] = []
+        self._sample_times: List[float] = []
+        self._samples_monotone = True
 
     # ------------------------------------------------------------------
     # per-workload outcomes
@@ -125,7 +182,14 @@ class MetricsCollector:
         velocity = query.execution_velocity(now)
         if velocity is not None:
             stats.velocities.append(velocity)
-        bisect.insort(stats.completion_times, now)
+        # Simulated time only moves forward, so completion times arrive
+        # in order and a plain append keeps the list sorted — no
+        # bisect.insort (which is O(n) per completion) needed.
+        times = stats.completion_times
+        assert not times or now >= times[-1] - 1e-9, (
+            f"completion time went backwards: {now} after {times[-1]}"
+        )
+        times.append(now)
 
     def record_rejection(self, query: Query) -> None:
         self.stats_for(query.workload_name).rejections += 1
@@ -143,9 +207,15 @@ class MetricsCollector:
     # system samples
     # ------------------------------------------------------------------
     def record_sample(self, sample: SystemSample) -> None:
+        if self._sample_times and sample.time < self._sample_times[-1]:
+            self._samples_monotone = False
         self._samples.append(sample)
+        self._sample_times.append(sample.time)
 
     def samples(self, since: float = 0.0) -> List[SystemSample]:
+        if self._samples_monotone:
+            lo = bisect.bisect_left(self._sample_times, since)
+            return self._samples[lo:]
         return [s for s in self._samples if s.time >= since]
 
     def latest_sample(self) -> Optional[SystemSample]:

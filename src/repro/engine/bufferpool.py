@@ -15,7 +15,7 @@ makes every query's I/O superlinear, after which throughput falls
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
 
 
 @dataclass
@@ -35,19 +35,30 @@ class BufferPool:
     capacity_mb: float
     spill_penalty: float = 3.0
     _committed: Dict[Hashable, float] = field(default_factory=dict)
+    _committed_total: Optional[float] = field(default=None, repr=False)
 
     def reserve(self, key: Hashable, memory_mb: float) -> None:
         """Reserve working memory for a query entering the engine."""
         self._committed[key] = max(0.0, memory_mb)
+        self._committed_total = None
 
     def release(self, key: Hashable) -> None:
         """Release a query's reservation (idempotent)."""
-        self._committed.pop(key, None)
+        if self._committed.pop(key, None) is not None:
+            self._committed_total = None
 
     @property
     def committed_mb(self) -> float:
-        """Total memory currently reserved."""
-        return sum(self._committed.values())
+        """Total memory currently reserved.
+
+        Cached between reservation changes; the cache recomputes the
+        same insertion-order sum, never an incremental update, so the
+        value is bit-identical to summing on every read.
+        """
+        total = self._committed_total
+        if total is None:
+            total = self._committed_total = sum(self._committed.values())
+        return total
 
     @property
     def pressure(self) -> float:
@@ -64,3 +75,4 @@ class BufferPool:
     def reset(self) -> None:
         """Drop all reservations (between experiment repetitions)."""
         self._committed.clear()
+        self._committed_total = None

@@ -24,8 +24,9 @@ Everything execution control needs is a first-class operation here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.engine.bufferpool import BufferPool
 from repro.engine.locks import LockManager, LockOutcome
@@ -35,7 +36,7 @@ from repro.engine.resources import (
     Resource,
     ResourceKind,
     ShareRequest,
-    allocate_fair_shares,
+    fair_share_speeds,
 )
 from repro.engine.simulator import Simulator
 from repro.errors import QueryStateError
@@ -79,6 +80,12 @@ class _Running:
     lock_points: Sequence[float] = ()
     next_lock: int = 0
     last_sync: float = 0.0
+    # Cached solver request, rebuilt only when the engine's demand epoch
+    # moves (i.e. the buffer-pool inflation value changes); weight and
+    # throttle edits patch it in place.
+    request: Optional[ShareRequest] = field(default=None, repr=False)
+    bottleneck: float = 0.0
+    demand_epoch: int = -1
 
     def next_milestone(self) -> float:
         """Progress value of the next interesting point (lock or done)."""
@@ -116,6 +123,23 @@ class ExecutionEngine:
         self.completed_count = 0
         self.killed_count = 0
         self.aborted_count = 0
+        self._capacities = self.machine.rate_capacities()
+        # Cached running-set snapshots, invalidated by *replacement* on
+        # membership change — callers holding an old snapshot can keep
+        # iterating it safely while queries start or finish.
+        self._snapshot: Optional[List[Query]] = None
+        self._ids_snapshot: Optional[List[int]] = None
+        # Allocation memoization: the fair-share solve is skipped when
+        # nothing feeding it (membership, weights, caps, blocked flags,
+        # demand inflation, completions) changed since the last solve.
+        self._alloc_version = 0
+        self._solved_version = -1
+        self._demand_epoch = 0
+        self._last_inflation = self.buffer_pool.io_inflation()
+        # Deferred-reallocation batching (see ``reallocation_batch``).
+        self._defer_depth = 0
+        self._realloc_pending = False
+        self._last_sync_time = -1.0
 
     # ------------------------------------------------------------------
     # observers
@@ -129,10 +153,32 @@ class ExecutionEngine:
         return len(self._running)
 
     def running_ids(self) -> List[int]:
-        return list(self._running.keys())
+        """IDs of the running queries (cached snapshot; treat as read-only)."""
+        ids = self._ids_snapshot
+        if ids is None:
+            ids = self._ids_snapshot = list(self._running.keys())
+        return ids
 
     def running_queries(self) -> List[Query]:
-        return [entry.query for entry in self._running.values()]
+        """The running queries as a cached snapshot list.
+
+        The snapshot is invalidated by replacement whenever membership
+        changes, so a list obtained before a start/finish stays valid to
+        iterate.  Treat it as read-only; copy before sorting or mutating.
+        """
+        snap = self._snapshot
+        if snap is None:
+            snap = self._snapshot = [entry.query for entry in self._running.values()]
+        return snap
+
+    def iter_running(self) -> Iterator[Query]:
+        """Iterate the running queries without materializing a list.
+
+        Do not start, kill or otherwise change engine membership while
+        iterating; use :meth:`running_queries` for that.
+        """
+        for entry in self._running.values():
+            yield entry.query
 
     def is_running(self, query_id: int) -> bool:
         return query_id in self._running
@@ -142,6 +188,7 @@ class ExecutionEngine:
         return self._entry(query_id).query.progress
 
     def speed_of(self, query_id: int) -> float:
+        self._flush_reallocation()
         return self._entry(query_id).speed
 
     def weight_of(self, query_id: int) -> float:
@@ -158,6 +205,7 @@ class ExecutionEngine:
 
     def utilization(self, kind: ResourceKind) -> float:
         """Instantaneous utilization (0..1) of a rate resource."""
+        self._flush_reallocation()
         resource = self.resources[kind]
         return resource.instantaneous_usage / resource.capacity
 
@@ -185,6 +233,7 @@ class ExecutionEngine:
             last_sync=self.sim.now,
         )
         self._running[query.query_id] = entry
+        self._membership_changed()
         # Sub-nanosecond demands complete instantly; without the epsilon
         # a denormal demand overflows the speed-cap division below.
         if query.true_cost.nominal_duration <= 1e-9:
@@ -211,7 +260,12 @@ class ExecutionEngine:
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
         self._sync_all()
-        self._entry(query_id).weight = weight
+        entry = self._entry(query_id)
+        if entry.weight != weight:
+            entry.weight = weight
+            if entry.request is not None and entry.demand_epoch == self._demand_epoch:
+                entry.request.weight = weight / entry.bottleneck
+            self._alloc_version += 1
         self._reallocate()
 
     def set_throttle(self, query_id: int, factor: float) -> None:
@@ -219,7 +273,11 @@ class ExecutionEngine:
         if not 0.0 <= factor <= 1.0:
             raise ValueError(f"throttle factor must be in [0,1], got {factor}")
         self._sync_all()
-        self._entry(query_id).throttle = factor
+        entry = self._entry(query_id)
+        if entry.throttle != factor:
+            entry.throttle = factor
+            self._update_cap(entry)
+            self._alloc_version += 1
         self._reallocate()
 
     def pause(self, query_id: int) -> None:
@@ -242,63 +300,130 @@ class ExecutionEngine:
     def _sync_all(self) -> None:
         """Advance every running query's progress to the current time."""
         now = self.sim.now
+        if now == self._last_sync_time:
+            return
+        self._last_sync_time = now
         for entry in self._running.values():
             dt = now - entry.last_sync
             if dt > 0 and entry.speed > 0:
-                entry.query.progress = min(
-                    1.0, entry.query.progress + entry.speed * dt
-                )
+                progress = entry.query.progress + entry.speed * dt
+                if progress >= 1.0:
+                    if entry.query.progress < 1.0:
+                        # A query crossing the finish line leaves the
+                        # active request set, so the memoized allocation
+                        # is stale until the next real solve.
+                        self._alloc_version += 1
+                    progress = 1.0
+                entry.query.progress = progress
             entry.last_sync = now
 
-    def _effective_demands(self, entry: _Running) -> Dict[ResourceKind, float]:
-        cost = entry.query.true_cost
-        remaining = 1.0 - entry.query.progress
-        if remaining <= 0:
-            return {}
+    def _membership_changed(self) -> None:
+        self._snapshot = None
+        self._ids_snapshot = None
+        self._alloc_version += 1
         inflation = self.buffer_pool.io_inflation()
-        return {
-            ResourceKind.CPU: cost.cpu_seconds,
-            ResourceKind.DISK: cost.io_seconds * inflation,
-        }
+        if inflation != self._last_inflation:
+            self._last_inflation = inflation
+            self._demand_epoch += 1
 
-    def _reallocate(self) -> None:
-        """Recompute speeds and (re)schedule the next milestone event."""
-        requests = []
-        for entry in self._running.values():
-            demands = self._effective_demands(entry)
-            bottleneck = max(demands.values(), default=0.0)
-            if bottleneck <= 1e-9:
-                # vanishing remaining demand: mark done so the milestone
-                # reaper completes it rather than dividing by ~zero
-                entry.query.progress = 1.0
-                continue
-            paused = entry.blocked or entry.throttle <= 0
-            cap = 0.0 if paused else (
-                entry.throttle * self.config.max_parallelism / bottleneck
+    def _update_cap(self, entry: _Running) -> None:
+        request = entry.request
+        if request is None:
+            return
+        if entry.blocked or entry.throttle <= 0:
+            request.speed_cap = 0.0
+        else:
+            request.speed_cap = (
+                entry.throttle * self.config.max_parallelism / entry.bottleneck
             )
-            requests.append(
-                ShareRequest(
+
+    def _request_for(self, entry: _Running) -> Optional[ShareRequest]:
+        """The entry's cached solver request, rebuilt on epoch change."""
+        if entry.demand_epoch != self._demand_epoch:
+            entry.demand_epoch = self._demand_epoch
+            cost = entry.query.true_cost
+            demands: Dict[ResourceKind, float] = {}
+            if cost.cpu_seconds > 0:
+                demands[ResourceKind.CPU] = cost.cpu_seconds
+            io = cost.io_seconds * self._last_inflation
+            if io > 0:
+                demands[ResourceKind.DISK] = io
+            bottleneck = max(demands.values(), default=0.0)
+            entry.bottleneck = bottleneck
+            if bottleneck <= 1e-9:
+                entry.request = None
+            else:
+                entry.request = ShareRequest(
                     key=entry.query.query_id,
                     # Divide by the bottleneck demand so equal business
                     # weights mean equal *resource* shares, not equal
                     # progress speeds (see resources.py docstring).
                     weight=entry.weight / bottleneck,
                     demands=demands,
-                    speed_cap=cap,
                 )
-            )
-        allocations = allocate_fair_shares(
-            requests, self.machine.rate_capacities()
-        )
-        usage_totals = {kind: 0.0 for kind in self.resources}
+                self._update_cap(entry)
+        return entry.request
+
+    @contextmanager
+    def reallocation_batch(self):
+        """Coalesce reallocations across a batch of same-timestamp engine
+        operations (e.g. a dispatch burst, or a finish plus the starts
+        its callbacks trigger) into a single solver run at batch exit.
+
+        Reads that depend on fresh speeds (``speed_of``,
+        ``utilization``) flush the pending solve on demand, so a batch
+        is observationally transparent; the pending solve always runs
+        before control returns to the simulator.
+        """
+        self._defer_depth += 1
+        try:
+            yield
+        finally:
+            self._defer_depth -= 1
+            if self._defer_depth == 0 and self._realloc_pending:
+                self._solve()
+
+    def _flush_reallocation(self) -> None:
+        if self._realloc_pending:
+            self._solve()
+
+    def _reallocate(self) -> None:
+        """Recompute speeds and (re)schedule the next milestone event."""
+        if self._defer_depth > 0:
+            self._realloc_pending = True
+            return
+        self._solve()
+
+    def _solve(self) -> None:
+        self._realloc_pending = False
+        now = self.sim.now
+        if self._solved_version == self._alloc_version:
+            # Nothing feeding the allocator changed: keep the current
+            # speeds.  Re-record the (unchanged) usage so the
+            # utilization integrals accrue exactly as they would have,
+            # and re-arm the milestone if this call consumed it.
+            for resource in self.resources.values():
+                resource.record(now, resource.instantaneous_usage)
+            if self._milestone_handle is None:
+                self._schedule_next_milestone()
+            return
+        requests: List[ShareRequest] = []
         for entry in self._running.values():
-            alloc = allocations.get(entry.query.query_id)
-            entry.speed = alloc.speed if alloc else 0.0
-            if alloc:
-                for kind, used in alloc.usage.items():
-                    usage_totals[kind] = usage_totals.get(kind, 0.0) + used
+            request = self._request_for(entry)
+            if request is None:
+                # vanishing remaining demand: mark done so the milestone
+                # reaper completes it rather than dividing by ~zero
+                entry.query.progress = 1.0
+                continue
+            if entry.query.progress >= 1.0:
+                continue
+            requests.append(request)
+        speeds, usage_totals = fair_share_speeds(requests, self._capacities)
+        for entry in self._running.values():
+            entry.speed = speeds.get(entry.query.query_id, 0.0)
         for kind, resource in self.resources.items():
-            resource.record(self.sim.now, usage_totals.get(kind, 0.0))
+            resource.record(now, usage_totals.get(kind, 0.0))
+        self._solved_version = self._alloc_version
         self._schedule_next_milestone()
 
     def _schedule_next_milestone(self) -> None:
@@ -359,6 +484,8 @@ class ExecutionEngine:
         elif outcome is LockOutcome.WAIT:
             entry.blocked = True
             entry.query.transition(QueryState.BLOCKED)
+            self._update_cap(entry)
+            self._alloc_version += 1
             self._reallocate()
         else:  # DIE: wait-die victim, abort and let policies resubmit
             self._finish(entry, CompletionOutcome.ABORTED)
@@ -367,6 +494,7 @@ class ExecutionEngine:
         query = entry.query
         self._running.pop(query.query_id, None)
         self.buffer_pool.release(query.query_id)
+        self._membership_changed()
         woken = self.lock_manager.release_all(query.query_id)
         if outcome is CompletionOutcome.COMPLETED:
             query.progress = 1.0
@@ -396,6 +524,10 @@ class ExecutionEngine:
                 woken_entry.blocked = False
                 woken_entry.query.transition(QueryState.RUNNING)
                 woken_entry.next_lock += 1
-        self._reallocate()
-        for callback in list(self._callbacks):
-            callback(query, outcome)
+                self._update_cap(woken_entry)
+        # One solve covers this exit plus whatever the exit callbacks do
+        # at the same instant (resubmits, replacement dispatches).
+        with self.reallocation_batch():
+            self._reallocate()
+            for callback in list(self._callbacks):
+                callback(query, outcome)

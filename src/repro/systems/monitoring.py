@@ -27,7 +27,7 @@ def _workload_rows(manager: WorkloadManager) -> List[str]:
     names = set(manager.metrics.workloads())
     names.update(
         q.workload_name
-        for q in manager.engine.running_queries()
+        for q in manager.engine.iter_running()
         if q.workload_name
     )
     if hasattr(manager.scheduler, "queued_queries"):
@@ -47,7 +47,7 @@ def db2_workload_occurrences(manager: WorkloadManager) -> List[Dict[str, Any]]:
     query currently executing, with its workload and progress."""
     now = manager.sim.now
     rows = []
-    for query in manager.engine.running_queries():
+    for query in manager.engine.iter_running():
         rows.append(
             {
                 "workload_name": query.workload_name or "SYSDEFAULTUSERWORKLOAD",
@@ -120,8 +120,7 @@ def sqlserver_resource_pool_stats(
     config); without it every group is its own pool.
     """
     pools: Dict[str, Dict[str, Any]] = {}
-    running = manager.engine.running_queries()
-    for query in running:
+    for query in manager.engine.iter_running():
         group = query.workload_name or "default"
         pool = (group_to_pool or {}).get(group, group)
         row = pools.setdefault(

@@ -218,7 +218,7 @@ class _UtilityThrottleAdmission(AdmissionController):
             return AdmissionDecision.accept("not a utility")
         running = sum(
             1
-            for q in context.engine.running_queries()
+            for q in context.engine.iter_running()
             if q.statement_type in self._UTILITY_TYPES
         )
         if running >= self.limit:

@@ -1,0 +1,168 @@
+"""Property-based equivalence: optimized allocator vs the reference.
+
+The optimized :func:`allocate_fair_shares` takes fast paths (early exit
+when no resource is near saturation, batched cap removal) above a small
+active-set threshold.  These tests pin it to the retained
+:func:`allocate_fair_shares_reference` oracle and to the fair-share
+invariants, across generated request mixes well beyond the threshold.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.resources import (
+    ResourceKind,
+    ShareRequest,
+    allocate_fair_shares,
+    allocate_fair_shares_reference,
+    fair_share_speeds,
+)
+
+SPEED_TOL = 1e-9
+
+demand_strategy = st.fixed_dictionaries(
+    {},
+    optional={
+        ResourceKind.CPU: st.floats(min_value=0.0, max_value=50.0),
+        ResourceKind.DISK: st.floats(min_value=0.0, max_value=50.0),
+    },
+)
+
+request_strategy = st.builds(
+    lambda weight, demands, cap: (weight, demands, cap),
+    weight=st.one_of(
+        st.just(0.0), st.floats(min_value=1e-6, max_value=100.0)
+    ),
+    demands=demand_strategy,
+    cap=st.one_of(
+        st.just(0.0), st.floats(min_value=1e-6, max_value=10.0)
+    ),
+)
+
+capacity_strategy = st.fixed_dictionaries(
+    {
+        ResourceKind.CPU: st.floats(min_value=0.1, max_value=64.0),
+        ResourceKind.DISK: st.floats(min_value=0.1, max_value=64.0),
+    }
+)
+
+
+def _build(rows):
+    return [
+        ShareRequest(key=i, weight=w, demands=d, speed_cap=c)
+        for i, (w, d, c) in enumerate(rows)
+    ]
+
+
+@given(
+    rows=st.lists(request_strategy, min_size=0, max_size=40),
+    capacities=capacity_strategy,
+)
+@settings(max_examples=200, deadline=None)
+def test_optimized_matches_reference(rows, capacities):
+    requests = _build(rows)
+    got = allocate_fair_shares(requests, capacities)
+    want = allocate_fair_shares_reference(requests, capacities)
+    assert set(got) == set(want)
+    for key, ref_alloc in want.items():
+        assert got[key].speed == pytest_approx(ref_alloc.speed), (
+            f"request {key}: optimized speed {got[key].speed} vs "
+            f"reference {ref_alloc.speed}"
+        )
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, abs=SPEED_TOL, rel=SPEED_TOL)
+
+
+@given(
+    rows=st.lists(request_strategy, min_size=0, max_size=40),
+    capacities=capacity_strategy,
+)
+@settings(max_examples=200, deadline=None)
+def test_fair_share_invariants(rows, capacities):
+    requests = _build(rows)
+    allocations = allocate_fair_shares(requests, capacities)
+
+    # Capacity: total usage never exceeds any resource's capacity.
+    for kind, capacity in capacities.items():
+        total = sum(a.usage.get(kind, 0.0) for a in allocations.values())
+        assert total <= capacity * (1 + 1e-9) + 1e-9
+
+    saturated = {
+        kind
+        for kind, capacity in capacities.items()
+        if sum(a.usage.get(kind, 0.0) for a in allocations.values())
+        >= capacity * (1 - 1e-6)
+    }
+    for req in requests:
+        alloc = allocations[req.key]
+        # Cap: no request exceeds its speed cap.
+        assert alloc.speed <= req.speed_cap * (1 + 1e-9) + 1e-9
+        assert alloc.speed >= 0.0
+        # Max-min: a non-trivial request below its cap must be blocked
+        # by a saturated resource it demands.
+        positive = {k for k, v in req.demands.items() if v > 0}
+        if (
+            positive
+            and req.weight > 0
+            and req.speed_cap > 0
+            and alloc.speed < req.speed_cap * (1 - 1e-6)
+        ):
+            assert positive & saturated, (
+                f"request {req.key} runs below cap with no saturated "
+                f"resource among its demands"
+            )
+
+
+@given(
+    rows=st.lists(request_strategy, min_size=0, max_size=40),
+    capacities=capacity_strategy,
+)
+@settings(max_examples=100, deadline=None)
+def test_low_level_speeds_match_allocations(rows, capacities):
+    requests = _build(rows)
+    allocations = allocate_fair_shares(requests, capacities)
+    speeds, usage_totals = fair_share_speeds(list(requests), capacities)
+    for req in requests:
+        assert math.isclose(
+            speeds.get(req.key, 0.0),
+            allocations[req.key].speed,
+            rel_tol=SPEED_TOL,
+            abs_tol=SPEED_TOL,
+        )
+    for kind in capacities:
+        expected = sum(
+            a.usage.get(kind, 0.0) for a in allocations.values()
+        )
+        assert math.isclose(
+            usage_totals.get(kind, 0.0), expected, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+def test_small_sets_are_bit_identical_to_reference():
+    """At or below the exact-fill threshold the optimized allocator must
+    reproduce the reference bit for bit (seeded trajectories depend on
+    it)."""
+    capacities = {ResourceKind.CPU: 4.0, ResourceKind.DISK: 2.0}
+    requests = [
+        ShareRequest(
+            key=i,
+            weight=0.5 + 0.25 * i,
+            demands={
+                ResourceKind.CPU: 0.3 + 0.1 * i,
+                ResourceKind.DISK: 1.0 / (i + 1),
+            },
+            speed_cap=0.2 + 0.15 * i,
+        )
+        for i in range(12)
+    ]
+    got = allocate_fair_shares(requests, capacities)
+    want = allocate_fair_shares_reference(requests, capacities)
+    for key in want:
+        assert got[key].speed == want[key].speed  # exact, not approx
+        assert got[key].usage == want[key].usage

@@ -215,3 +215,123 @@ class TestEngineApiMisuse:
 
         with pytest.raises(QueryStateError):
             manager.engine.set_throttle(query.query_id, 0.5)
+
+
+class TestSnapshotInvalidation:
+    """``running_queries()``/``running_ids()`` return cached snapshots
+    invalidated *by replacement* on membership change: a list handed out
+    before queries start or finish stays safe to iterate, while fresh
+    calls observe the new membership.  These interleavings are exactly
+    what controllers do — grab the running set, then kill / suspend /
+    resume / start members mid-iteration."""
+
+    def _engine(self, sim):
+        from repro.engine.executor import ExecutionEngine
+
+        return ExecutionEngine(
+            sim,
+            MachineSpec(cpu_capacity=2.0, disk_capacity=2.0, memory_mb=512.0),
+            EngineConfig(hot_set_size=100),
+        )
+
+    def test_snapshot_is_cached_between_membership_changes(self, sim):
+        from tests.conftest import submitted_query
+
+        engine = self._engine(sim)
+        for _ in range(3):
+            engine.start(submitted_query(sim, cpu=5.0, io=0.0, mem=10.0))
+        first = engine.running_queries()
+        assert engine.running_queries() is first  # cache hit
+        assert engine.running_ids() is engine.running_ids()
+        # throttle and weight changes keep membership: same snapshot
+        victim = first[0].query_id
+        engine.set_throttle(victim, 0.5)
+        engine.set_weight(victim, 2.0)
+        assert engine.running_queries() is first
+        # a kill replaces the snapshot but leaves the old list intact
+        engine.kill(victim)
+        second = engine.running_queries()
+        assert second is not first
+        assert len(first) == 3 and len(second) == 2
+        assert victim in [q.query_id for q in first]
+        assert victim not in [q.query_id for q in second]
+
+    def test_kill_all_while_iterating_stale_snapshot(self, sim):
+        from tests.conftest import submitted_query
+
+        engine = self._engine(sim)
+        for _ in range(6):
+            engine.start(submitted_query(sim, cpu=4.0, io=1.0, mem=20.0))
+        snapshot = engine.running_queries()
+        killed = []
+        for query in snapshot:  # membership shrinks during iteration
+            engine.kill(query.query_id)
+            killed.append(query.query_id)
+        assert len(killed) == 6
+        assert engine.running_count == 0
+        assert engine.running_queries() == []
+        assert engine.buffer_pool.committed_mb == pytest.approx(0.0)
+
+    def test_suspend_resume_start_interleaving(self, sim):
+        from tests.conftest import submitted_query
+
+        engine = self._engine(sim)
+        for _ in range(4):
+            engine.start(submitted_query(sim, cpu=6.0, io=0.0, mem=15.0))
+        sim.run_until(1.0)
+        snapshot = engine.running_queries()
+        ids = engine.running_ids()
+        # suspend two while iterating the stale id list, start a
+        # replacement mid-iteration, resume (un-throttle) another
+        suspended = []
+        for index, query_id in enumerate(ids):
+            if index < 2:
+                engine.remove_suspended(query_id)
+                suspended.append(query_id)
+            elif index == 2:
+                engine.start(submitted_query(sim, cpu=6.0, io=0.0, mem=15.0))
+                engine.pause(query_id)
+            else:
+                engine.resume(query_id)
+        assert len(snapshot) == 4  # stale snapshot untouched
+        fresh = engine.running_queries()
+        assert len(fresh) == 3  # 4 - 2 suspended + 1 started
+        for query_id in suspended:
+            assert not engine.is_running(query_id)
+            assert query_id in ids  # stale ids list untouched
+        paused = ids[2]
+        assert engine.speed_of(paused) == 0.0
+        engine.resume(paused)
+        sim.run()
+        assert engine.running_count == 0
+
+    def test_iter_running_sees_current_membership(self, sim):
+        from tests.conftest import submitted_query
+
+        engine = self._engine(sim)
+        queries = [
+            submitted_query(sim, cpu=3.0, io=0.0, mem=10.0) for _ in range(3)
+        ]
+        for query in queries:
+            engine.start(query)
+        assert sorted(q.query_id for q in engine.iter_running()) == sorted(
+            q.query_id for q in queries
+        )
+        engine.kill(queries[0].query_id)
+        assert queries[0].query_id not in [
+            q.query_id for q in engine.iter_running()
+        ]
+
+    def test_finish_during_drain_invalidates_snapshot(self, sim):
+        from tests.conftest import submitted_query
+
+        engine = self._engine(sim)
+        fast = submitted_query(sim, cpu=0.5, io=0.0, mem=5.0)
+        slow = submitted_query(sim, cpu=50.0, io=0.0, mem=5.0)
+        engine.start(fast)
+        engine.start(slow)
+        before = engine.running_queries()
+        sim.run_until(5.0)  # fast completes naturally
+        after = engine.running_queries()
+        assert len(before) == 2  # stale snapshot kept its members
+        assert [q.query_id for q in after] == [slow.query_id]
