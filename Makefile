@@ -3,10 +3,17 @@
 PY ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-full bench-baseline artifacts
+.PHONY: test bench bench-full bench-baseline artifacts lint
 
 test:
 	$(PY) -m pytest tests/ -q
+
+# Static checks (ruff, config in pyproject.toml).  CI installs ruff;
+# locally the target degrades to a no-op when ruff is unavailable.
+lint:
+	@$(PY) -m ruff --version >/dev/null 2>&1 \
+		&& $(PY) -m ruff check src/ tests/ benchmarks/ examples/ \
+		|| echo "ruff not installed; skipping lint (pip install ruff)"
 
 # Quick perf-regression gate: scaled-down macro-scenarios, fails if any
 # scenario runs >2x slower than the committed BENCH_core.json or if a

@@ -18,7 +18,7 @@ import math
 import struct
 from typing import Dict
 
-from benchmarks._scenarios import DEFAULT_MACHINE, build_manager, drive
+from benchmarks._scenarios import build_manager, drive
 from benchmarks.perf.harness import outcome_digest
 from repro.core.interfaces import ExecutionController, ManagerContext
 from repro.core.manager import FCFSDispatcher
@@ -221,10 +221,67 @@ def run_sla_polling(scale: float = 1.0, seed: int = 13) -> Dict[str, object]:
     }
 
 
+def run_cluster(scale: float = 1.0, seed: int = 19) -> Dict[str, object]:
+    """Multi-node dispatch with a mid-run node kill (EXP18 path).
+
+    The EXP18 overload mix routed across a 4-node cluster by the
+    cost-balanced placer, with one node crashed mid-run and revived
+    later — so placement, re-placement, crash evacuation, resubmission
+    and recovery are all under the digest-determinism gate.  The run
+    also asserts conservation: every arrival completes exactly once or
+    is accounted a cluster rejection.
+    """
+    from repro.cluster import FaultPlan, run_cluster_scenario
+
+    horizon = max(12.0, 150.0 * scale)
+    plan = FaultPlan.node_kill(
+        "n1", at=0.45 * horizon, recover_at=0.7 * horizon
+    )
+    dispatcher = run_cluster_scenario(
+        seed=seed,
+        nodes=4,
+        policy="cost",
+        horizon=horizon,
+        drain=horizon + 200.0,
+        fault_plan=plan,
+    )
+    if dispatcher.completions + dispatcher.rejections != dispatcher.arrivals:
+        raise RuntimeError(
+            "cluster conservation violated: "
+            f"{dispatcher.completions} completed + "
+            f"{dispatcher.rejections} rejected != "
+            f"{dispatcher.arrivals} arrivals"
+        )
+    h = hashlib.sha256()
+    for node in dispatcher.nodes:
+        h.update(outcome_digest(node.manager).encode("ascii"))
+    h.update(
+        struct.pack(
+            "<qqqqq",
+            dispatcher.arrivals,
+            dispatcher.completions,
+            dispatcher.rejections,
+            dispatcher.resubmissions,
+            dispatcher.metrics.replacements,
+        )
+    )
+    for node in dispatcher.nodes:
+        h.update(struct.pack("<q", dispatcher.metrics.placements[node.name]))
+    return {
+        "completed": dispatcher.completions,
+        "submitted": dispatcher.arrivals,
+        "events": dispatcher.sim.events_fired,
+        "sim_time": dispatcher.sim.now,
+        "resubmitted": dispatcher.resubmissions,
+        "digest": h.hexdigest(),
+    }
+
+
 SCENARIOS = {
     "high_mpl": run_high_mpl,
     "mixed_pipeline": run_mixed_pipeline,
     "sla_polling": run_sla_polling,
+    "cluster": run_cluster,
 }
 
 #: scale used by ``--mode quick`` (the CI regression gate)

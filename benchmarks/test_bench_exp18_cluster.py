@@ -1,0 +1,159 @@
+"""EXP18 — cluster placement and failover (§2.2, §3.2 one level up).
+
+Claim reproduced: routing one workload stream across independent DBMS
+nodes is the same taxonomy decision the paper's §3.2 admission /
+§2.2 scheduling layers make on a single server, lifted to the cluster:
+a load-aware placement policy keeps the latency-critical class inside
+its objective under an overload that saturates one node [WiSeDB-style
+SLA placement; DIRAC-style pilot heartbeats], while load-blind
+round-robin does not — and killing a node mid-run loses no work,
+because crash-lost queries are deterministically resubmitted.
+
+Setup: the EXP18 mix (30/s OLTP + 0.3/s BI monsters, per-node MPL 2,
+four nodes) under round-robin, cost-balanced and SLA-aware placement;
+then the cost-balanced run repeated with node n1 crashed at t=30s.
+Expected shape: round-robin breaches the 2s OLTP p95 SLA, both
+load-aware placers hold it; the chaos run completes every arrival
+exactly once with zero cluster rejections.
+"""
+
+import functools
+from collections import Counter
+
+from benchmarks.conftest import write_result
+from repro.cluster import FaultInjector, FaultPlan
+from repro.cluster.scenario import (
+    CLUSTER_SLAS,
+    build_cluster,
+    cluster_overload_scenario,
+    run_cluster_scenario,
+)
+from repro.engine.simulator import Simulator
+from repro.reporting.figures import ascii_bar_chart, ascii_cluster_timeline
+
+OLTP_P95_SLA = next(
+    objective.target
+    for objective in CLUSTER_SLAS.get("oltp").objectives
+    if objective.percentile == 95.0
+)
+SEED = 42
+HORIZON = 60.0
+
+
+def run_policy(policy: str):
+    dispatcher = run_cluster_scenario(
+        seed=SEED, nodes=4, policy=policy, horizon=HORIZON
+    )
+    roll = dispatcher.metrics.rollup("oltp")
+    return {
+        "oltp_p95": roll.p95_response_time,
+        "oltp_completions": roll.completions,
+        "arrivals": dispatcher.arrivals,
+        "completions": dispatcher.completions,
+        "rejections": dispatcher.rejections,
+        "dispatcher": dispatcher,
+    }
+
+
+def run_node_kill():
+    """Cost-balanced run with n1 crashed mid-run; full conservation audit."""
+    sim = Simulator(seed=SEED)
+    dispatcher = build_cluster(sim, nodes=4, policy="cost", mpl=2)
+    outcomes = Counter()
+    dispatcher.add_completion_listener(
+        lambda query: outcomes.update([query.query_id])
+    )
+    scenario = cluster_overload_scenario(horizon=HORIZON)
+    generator = scenario.build(sim, dispatcher.submit, sessions=dispatcher.sessions)
+    dispatcher.add_completion_listener(generator.notify_done)
+    injector = FaultInjector(dispatcher)
+    injector.arm(FaultPlan.node_kill("n1", at=30.0))
+    dispatcher.run(HORIZON, drain=180.0)
+    return {
+        "dispatcher": dispatcher,
+        "injector": injector,
+        "outcomes": outcomes,
+    }
+
+
+@functools.lru_cache(maxsize=1)
+def results():
+    return {
+        "round-robin": run_policy("round-robin"),
+        "cost": run_policy("cost"),
+        "sla": run_policy("sla"),
+        "node-kill": run_node_kill(),
+    }
+
+
+def test_exp18_placement_beats_round_robin(benchmark):
+    outcome = results()
+    chart = ascii_bar_chart(
+        {
+            name: outcome[name]["oltp_p95"]
+            for name in ("round-robin", "cost", "sla")
+        },
+        title=(
+            "EXP18 — OLTP p95 by placement policy "
+            f"(4 nodes, SLA {OLTP_P95_SLA:.0f}s)"
+        ),
+        unit="s",
+    )
+    lines = [chart, ""]
+    for name in ("round-robin", "cost", "sla"):
+        row = outcome[name]
+        lines.append(
+            f"{name:>12}: oltp_p95={row['oltp_p95']:.3f}s "
+            f"done={row['completions']}/{row['arrivals']} "
+            f"rej={row['rejections']}"
+        )
+    dispatcher = outcome["cost"]["dispatcher"]
+    lines += ["", dispatcher.metrics.rollup_table(dispatcher.sim.now)]
+    write_result("exp18_cluster_placement", "\n".join(lines))
+
+    # round-robin keeps landing OLTP behind BI monsters: SLA breached
+    assert outcome["round-robin"]["oltp_p95"] > OLTP_P95_SLA
+    # load-aware placement holds the objective under the same mix
+    assert outcome["cost"]["oltp_p95"] <= OLTP_P95_SLA
+    assert outcome["sla"]["oltp_p95"] <= OLTP_P95_SLA
+    for name in ("cost", "sla"):
+        assert outcome[name]["oltp_p95"] < outcome["round-robin"]["oltp_p95"]
+
+    benchmark.pedantic(
+        lambda: dispatcher.metrics.rollup("oltp"), rounds=3, iterations=1
+    )
+
+
+def test_exp18_node_kill_conserves_queries(benchmark):
+    outcome = results()["node-kill"]
+    dispatcher = outcome["dispatcher"]
+    injector = outcome["injector"]
+    outcomes = outcome["outcomes"]
+    now = dispatcher.sim.now
+    lanes = dispatcher.metrics.timeline_lanes(now)
+    lines = [
+        ascii_cluster_timeline(
+            lanes, now, title="EXP18 — n1 killed at t=30s (x = down)"
+        ),
+        "",
+        f"reclaimed={injector.lost_and_resubmitted} "
+        f"resubmissions={dispatcher.resubmissions} "
+        f"arrivals={dispatcher.arrivals} "
+        f"completions={dispatcher.completions} "
+        f"rejections={dispatcher.rejections}",
+    ]
+    write_result("exp18_cluster_failover", "\n".join(lines))
+
+    # the crash actually cost the node work, and all of it came back
+    assert injector.lost_and_resubmitted >= 1
+    # zero lost completions: every arrival terminates exactly once
+    assert dispatcher.completions + dispatcher.rejections == dispatcher.arrivals
+    assert dispatcher.rejections == 0
+    assert dispatcher.outstanding_work() == 0
+    assert sum(outcomes.values()) == dispatcher.arrivals
+    duplicates = [qid for qid, count in outcomes.items() if count > 1]
+    assert duplicates == []
+
+    benchmark.pedantic(
+        lambda: dispatcher.metrics.timeline_lanes(now), rounds=3, iterations=1
+    )

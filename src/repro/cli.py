@@ -5,6 +5,7 @@ Usage::
     python -m repro figure                 # Figure 1 (add --annotate)
     python -m repro tables [1..5|all]      # regenerate the tables
     python -m repro demo [--seed N]        # run the mixed-workload demo
+    python -m repro cluster --nodes 4 --policy cost   # multi-node demo
     python -m repro classify F1 F2 ...     # classify a feature set
     python -m repro features               # list classification features
 
@@ -64,6 +65,38 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import FaultPlan, run_cluster_scenario
+    from repro.reporting.figures import ascii_cluster_timeline
+
+    plan = None
+    if args.kill_node is not None:
+        plan = FaultPlan.node_kill(
+            args.kill_node, at=args.kill_at, recover_at=args.recover_at
+        )
+    print(
+        f"Dispatching OLTP+BI across {args.nodes} nodes "
+        f"({args.policy} placement, seed {args.seed}, "
+        f"{args.horizon:.0f}s horizon)"
+        + (f", killing {args.kill_node} at t={args.kill_at:.0f}s" if plan else "")
+        + "..."
+    )
+    dispatcher = run_cluster_scenario(
+        seed=args.seed,
+        nodes=args.nodes,
+        policy=args.policy,
+        horizon=args.horizon,
+        fault_plan=plan,
+    )
+    now = dispatcher.sim.now
+    print()
+    print(dispatcher.metrics.rollup_table(now))
+    print()
+    lanes = dispatcher.metrics.timeline_lanes(now)
+    print(ascii_cluster_timeline(lanes, now))
+    return 0
+
+
 def _cmd_features(args: argparse.Namespace) -> int:
     from repro.core.registry import Feature
 
@@ -116,6 +149,29 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=42)
     demo.add_argument("--horizon", type=float, default=60.0)
     demo.set_defaults(func=_cmd_demo)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="run the multi-node cluster demo"
+    )
+    cluster.add_argument("--nodes", type=int, default=4)
+    cluster.add_argument(
+        "--policy",
+        default="cost",
+        choices=["round-robin", "least", "cost", "sla"],
+        help="placement policy",
+    )
+    cluster.add_argument("--seed", type=int, default=42)
+    cluster.add_argument("--horizon", type=float, default=60.0)
+    cluster.add_argument(
+        "--kill-node", default=None, metavar="NAME",
+        help="crash this node mid-run (e.g. n1)",
+    )
+    cluster.add_argument("--kill-at", type=float, default=30.0)
+    cluster.add_argument(
+        "--recover-at", type=float, default=None,
+        help="revive the killed node at this time",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     features = subparsers.add_parser("features", help="list feature names")
     features.set_defaults(func=_cmd_features)

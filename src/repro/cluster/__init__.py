@@ -1,0 +1,73 @@
+"""Multi-node workload dispatch, placement and failover (EXP18).
+
+``repro.cluster`` scales the single-server taxonomy pipeline out to a
+cluster of independent simulated DBMS engines sharing one deterministic
+clock.  Each :class:`~repro.cluster.node.ClusterNode` wraps a full
+engine + :class:`~repro.core.manager.WorkloadManager` stack on a scoped
+RNG namespace; the :class:`~repro.cluster.dispatcher.ClusterDispatcher`
+is the cluster-level workload manager — admission (bounded cluster
+queue), placement (pluggable policies from
+:mod:`repro.cluster.placement`: round-robin, least-outstanding,
+cost-balanced, SLA-aware greedy), and re-placement of locally rejected
+or crash-lost work (:mod:`repro.cluster.failover`).  Elastic
+provisioning (:mod:`repro.cluster.elastic`) reuses the §3.4 feedback
+controllers to grow and shrink the active node set, and
+:mod:`repro.cluster.metrics` rolls per-node statistics up into
+cluster-level views.
+"""
+
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.elastic import ElasticProvisioner, ProvisioningDecision
+from repro.cluster.failover import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.cluster.metrics import ClusterMetrics, HealthChange, WorkloadRollup
+from repro.cluster.node import (
+    NODE_MACHINE,
+    ClusterNode,
+    NodeHealth,
+    NodeHeartbeat,
+)
+from repro.cluster.placement import (
+    POLICY_NAMES,
+    CostBalancedPlacement,
+    LeastOutstandingPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    SLAAwarePlacement,
+    make_policy,
+    predict_response_time,
+)
+from repro.cluster.scenario import (
+    CLUSTER_SLAS,
+    build_cluster,
+    cluster_overload_scenario,
+    run_cluster_scenario,
+)
+
+__all__ = [
+    "CLUSTER_SLAS",
+    "POLICY_NAMES",
+    "NODE_MACHINE",
+    "ClusterDispatcher",
+    "ClusterMetrics",
+    "ClusterNode",
+    "CostBalancedPlacement",
+    "ElasticProvisioner",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "HealthChange",
+    "LeastOutstandingPlacement",
+    "NodeHealth",
+    "NodeHeartbeat",
+    "PlacementPolicy",
+    "ProvisioningDecision",
+    "RoundRobinPlacement",
+    "SLAAwarePlacement",
+    "WorkloadRollup",
+    "build_cluster",
+    "cluster_overload_scenario",
+    "make_policy",
+    "predict_response_time",
+    "run_cluster_scenario",
+]

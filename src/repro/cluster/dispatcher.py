@@ -1,0 +1,303 @@
+"""The cluster dispatcher: admission, placement and re-placement.
+
+The :class:`ClusterDispatcher` is the cluster-level control point — the
+DIRAC matcher / WiSeDB advisor of this simulator.  Every arriving
+request is placed onto one eligible node by a pluggable
+:class:`~repro.cluster.placement.PlacementPolicy`; when every node is
+saturated the request waits in a bounded cluster queue, and when that
+queue is full the cluster itself rejects (cluster-level admission
+control — the paper's §3.2 decision, one level up).
+
+Recovery paths, both deterministic:
+
+* a node manager that *locally* rejects a request hands it back through
+  the :meth:`~repro.core.manager.WorkloadManager.set_rejection_interceptor`
+  hook and the dispatcher re-places it on another node;
+* queries lost to a node crash (killed in-flight, evacuated from its
+  wait queue) are resubmitted through normal intake — the same
+  record/resubmit lifecycle the replay machinery uses (KILLED →
+  SUBMITTED), with progress reset because crashed work is lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.node import ClusterNode, NodeHealth
+from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
+from repro.core.interfaces import AdmissionDecision
+from repro.core.sla import SLASet
+from repro.engine.query import Query, QueryState
+from repro.engine.sessions import SessionRegistry
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+
+CompletionListener = Callable[[Query], None]
+
+
+class ClusterDispatcher:
+    """Routes one request stream across N simulated DBMS nodes.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator (the *base* clock, not a scoped view).
+    nodes:
+        The cluster's nodes in stable order (placement tie-break order).
+    placement:
+        Placement policy; defaults to round-robin.
+    max_queue_depth:
+        Bound on the cluster wait queue; ``None`` = unbounded (never
+        cluster-reject), ``0`` = reject the moment all nodes saturate.
+    control_period:
+        Seconds between dispatcher ticks (cluster-queue retry cadence).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[ClusterNode],
+        placement: Optional[PlacementPolicy] = None,
+        slas: Optional[SLASet] = None,
+        max_queue_depth: Optional[int] = None,
+        control_period: float = 1.0,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names: {names}")
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ConfigurationError("max_queue_depth must be >= 0 or None")
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.placement = placement or RoundRobinPlacement()
+        self.slas = slas or SLASet()
+        self.max_queue_depth = max_queue_depth
+        self.metrics = ClusterMetrics(self.nodes)
+        self.sessions = SessionRegistry()
+        self._queue: Deque[Query] = deque()
+        self._listeners: List[CompletionListener] = []
+        self._excluded: Dict[int, Set[str]] = {}  # query_id -> nodes that refused
+        self.arrivals = 0
+        self.completions = 0
+        self.rejections = 0
+        self.resubmissions = 0
+        for node in self.nodes:
+            node.manager.add_completion_listener(
+                lambda query, n=node: self._on_node_exit(n, query)
+            )
+            node.manager.set_rejection_interceptor(
+                lambda query, decision, n=node: self._intercept_rejection(
+                    n, query, decision
+                )
+            )
+            self.metrics.record_health(sim.now, node)
+        self._ticker = sim.schedule_periodic(
+            control_period, self._tick, label="cluster:tick"
+        )
+
+    # ------------------------------------------------------------------
+    # client intake
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> None:
+        """A request arrives at the cluster front end."""
+        query.transition(QueryState.SUBMITTED)
+        if query.submit_time is None:
+            query.submit_time = self.sim.now
+        self.arrivals += 1
+        self._route(query)
+
+    def resubmit(self, query: Query, delay: float = 0.0) -> None:
+        """Re-enter a request whose previous placement was lost.
+
+        Crash-lost work restarts from scratch: progress is reset and the
+        restart is counted, then the query goes through normal intake
+        (same deterministic path as kill-and-resubmit policies).
+        """
+        query.progress = 0.0
+        query.restarts += 1
+        self.resubmissions += 1
+        self.metrics.record_resubmission(query)
+        self._excluded.pop(query.query_id, None)
+        if delay > 0:
+            self.sim.schedule(
+                delay, lambda: self._reenter(query), label="cluster:resubmit"
+            )
+        else:
+            self._reenter(query)
+
+    def _reenter(self, query: Query) -> None:
+        query.transition(QueryState.SUBMITTED)
+        self._route(query)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def eligible_nodes(self, query: Optional[Query] = None) -> List[ClusterNode]:
+        """UP, unsaturated nodes (minus any that refused this query)."""
+        excluded = self._excluded.get(query.query_id, set()) if query else set()
+        return [
+            node
+            for node in self.nodes
+            if node.accepting and node.name not in excluded
+        ]
+
+    def _route(self, query: Query) -> None:
+        candidates = self.eligible_nodes(query)
+        if candidates:
+            node = self.placement.choose(query, candidates)
+            if node is not None:
+                self._place(query, node)
+                return
+        self._enqueue_or_reject(query)
+
+    def _place(self, query: Query, node: ClusterNode) -> None:
+        self.metrics.record_placement(node)
+        node.submit(query)
+        # a synchronous node-local rejection re-routes via the
+        # interceptor before node.submit returns; nothing more to do
+
+    def _enqueue_or_reject(self, query: Query) -> None:
+        if (
+            self.max_queue_depth is not None
+            and len(self._queue) >= self.max_queue_depth
+        ):
+            self._cluster_reject(query)
+            return
+        # waiting in the cluster queue wipes per-placement exclusions:
+        # by the time it is retried the refusing node may have capacity
+        self._excluded.pop(query.query_id, None)
+        self._queue.append(query)
+
+    def _cluster_reject(self, query: Query) -> None:
+        self._excluded.pop(query.query_id, None)
+        query.transition(QueryState.REJECTED)
+        query.end_time = self.sim.now
+        self.rejections += 1
+        self.metrics.record_cluster_rejection(query)
+        self._notify(query)
+
+    def _drain_queue(self) -> None:
+        """Retry queued requests while any node will take them."""
+        for _ in range(len(self._queue)):
+            if not self._queue:
+                return
+            query = self._queue[0]
+            candidates = self.eligible_nodes(query)
+            if not candidates:
+                return
+            node = self.placement.choose(query, candidates)
+            if node is None:
+                return
+            self._queue.popleft()
+            self._place(query, node)
+
+    # ------------------------------------------------------------------
+    # node feedback
+    # ------------------------------------------------------------------
+    def _intercept_rejection(
+        self, node: ClusterNode, query: Query, decision: AdmissionDecision
+    ) -> bool:
+        """A node's local admission refused: reclaim and re-place."""
+        node.release(query)
+        if query.state is QueryState.QUEUED:  # refused from a delayed retry
+            query.transition(QueryState.SUBMITTED)
+        self._excluded.setdefault(query.query_id, set()).add(node.name)
+        self.metrics.record_replacement()
+        self._route(query)
+        return True
+
+    def _on_node_exit(self, node: ClusterNode, query: Query) -> None:
+        if query.state is QueryState.KILLED and node.health is NodeHealth.DOWN:
+            # in-flight work lost to a crash: resubmit through intake
+            self.resubmit(query)
+        else:
+            if query.state is QueryState.COMPLETED:
+                self.completions += 1
+            self._excluded.pop(query.query_id, None)
+            self._notify(query)
+        self._drain_queue()
+
+    # ------------------------------------------------------------------
+    # fault handling (used by repro.cluster.failover)
+    # ------------------------------------------------------------------
+    def crash_node(self, node: ClusterNode) -> int:
+        """Kill a node: evacuate its queue, lose its in-flight work.
+
+        Returns the number of queries reclaimed (evacuated + killed);
+        every one re-enters through :meth:`resubmit` / :meth:`_route`.
+        """
+        node.crash()
+        self.metrics.record_health(self.sim.now, node)
+        reclaimed = 0
+        # queued work survives (it never started): re-place directly
+        for queued in node.manager.evacuate_queued():
+            node.release(queued)
+            queued.transition(QueryState.SUBMITTED)
+            self._route(queued)
+            reclaimed += 1
+        # in-flight work is lost; each kill triggers _on_node_exit which
+        # resubmits because the node is already DOWN
+        engine = node.manager.engine
+        for query_id in list(engine.running_ids()):
+            engine.kill(query_id)
+            reclaimed += 1
+        self._drain_queue()
+        return reclaimed
+
+    def drain_node(self, node: ClusterNode) -> None:
+        node.drain()
+        self.metrics.record_health(self.sim.now, node)
+
+    def activate_node(self, node: ClusterNode) -> None:
+        node.activate()
+        self.metrics.record_health(self.sim.now, node)
+        self._drain_queue()
+
+    def degrade_node(self, node: ClusterNode, factor: float) -> None:
+        node.degrade(factor)
+        self.metrics.record_health(self.sim.now, node)
+
+    def node(self, name: str) -> ClusterNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def cluster_queue_depth(self) -> int:
+        return len(self._queue)
+
+    def active_nodes(self) -> List[ClusterNode]:
+        return [n for n in self.nodes if n.health is NodeHealth.UP]
+
+    def outstanding_work(self) -> int:
+        return len(self._queue) + sum(n.outstanding_work for n in self.nodes)
+
+    def add_completion_listener(self, listener: CompletionListener) -> None:
+        """Called for every client-visible terminal outcome."""
+        self._listeners.append(listener)
+
+    def _notify(self, query: Query) -> None:
+        for listener in list(self._listeners):
+            listener(query)
+
+    def _tick(self) -> None:
+        self._drain_queue()
+
+    def shutdown(self) -> None:
+        """Stop all periodic processes so the simulator can drain."""
+        self._ticker.stop()
+        for node in self.nodes:
+            node.shutdown()
+
+    def run(self, horizon: float, drain: float = 0.0) -> None:
+        """Run the cluster to ``horizon`` plus a drain window."""
+        self.sim.run_until(horizon + drain)
+        self.shutdown()

@@ -1,0 +1,188 @@
+"""Cluster-rollup metrics: per-node and aggregate views.
+
+Built on the per-node streaming :class:`~repro.core.metrics` collectors
+— nothing is double-counted: the rollup *reads* each node manager's
+outcome series and merges them per workload on demand.  The collector
+itself only stores what no node knows: placement decisions,
+cluster-level rejections, crash resubmissions and health transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.node import ClusterNode, NodeHealth
+from repro.engine.query import Query
+
+
+@dataclass(frozen=True)
+class HealthChange:
+    """One node health transition, for the timeline."""
+
+    time: float
+    node: str
+    health: NodeHealth
+
+
+@dataclass
+class WorkloadRollup:
+    """Aggregate outcomes for one workload across every node."""
+
+    workload: str
+    completions: int = 0
+    rejections: int = 0
+    kills: int = 0
+    mean_response_time: Optional[float] = None
+    p95_response_time: Optional[float] = None
+    mean_queue_delay: Optional[float] = None
+
+
+class ClusterMetrics:
+    """Rollup over a set of nodes plus dispatcher-level counters."""
+
+    def __init__(self, nodes: Sequence[ClusterNode]) -> None:
+        self.nodes = list(nodes)
+        self.placements: Dict[str, int] = {node.name: 0 for node in self.nodes}
+        self.placement_decisions = 0
+        self.replacements = 0          # re-placed after a node-local rejection
+        self.resubmissions = 0         # crash-lost work resubmitted
+        self.cluster_rejections = 0
+        self.health_changes: List[HealthChange] = []
+
+    # ------------------------------------------------------------------
+    # event recording (called by the dispatcher)
+    # ------------------------------------------------------------------
+    def record_placement(self, node: ClusterNode) -> None:
+        self.placement_decisions += 1
+        self.placements[node.name] = self.placements.get(node.name, 0) + 1
+
+    def record_replacement(self) -> None:
+        self.replacements += 1
+
+    def record_resubmission(self, query: Query) -> None:
+        self.resubmissions += 1
+
+    def record_cluster_rejection(self, query: Query) -> None:
+        self.cluster_rejections += 1
+
+    def record_health(self, time: float, node: ClusterNode) -> None:
+        self.health_changes.append(HealthChange(time, node.name, node.health))
+
+    # ------------------------------------------------------------------
+    # rollups (read node collectors on demand)
+    # ------------------------------------------------------------------
+    def workloads(self) -> List[str]:
+        names = set()
+        for node in self.nodes:
+            names.update(node.manager.metrics.workloads())
+        return sorted(names)
+
+    def rollup(self, workload: str) -> WorkloadRollup:
+        """Merge one workload's outcome series across all nodes."""
+        response_times: List[float] = []
+        queue_delays: List[float] = []
+        out = WorkloadRollup(workload=workload)
+        for node in self.nodes:
+            stats = node.manager.metrics.stats_for(workload)
+            out.completions += stats.completions
+            out.rejections += stats.rejections
+            out.kills += stats.kills
+            response_times.extend(stats.response_times)
+            queue_delays.extend(stats.queue_delays)
+        if response_times:
+            arr = np.asarray(response_times, dtype=float)
+            out.mean_response_time = float(np.mean(arr))
+            out.p95_response_time = float(np.percentile(arr, 95.0))
+        if queue_delays:
+            out.mean_queue_delay = float(np.mean(np.asarray(queue_delays)))
+        return out
+
+    def total_completions(self) -> int:
+        return sum(self.rollup(w).completions for w in self.workloads())
+
+    def aggregate_throughput(self, now: float) -> float:
+        return self.total_completions() / now if now > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def rollup_table(self, now: float) -> str:
+        """The cluster-rollup table printed by the CLI and benches."""
+        lines = [
+            "CLUSTER ROLLUP "
+            f"(t={now:.0f}s, {len(self.nodes)} nodes, "
+            f"{self.placement_decisions} placements, "
+            f"{self.replacements} re-placements, "
+            f"{self.resubmissions} crash resubmissions, "
+            f"{self.cluster_rejections} cluster rejections)",
+            f"{'workload':>12} {'done':>7} {'rej':>5} {'kill':>5} "
+            f"{'rt_avg':>8} {'rt_p95':>8} {'qdelay':>8}",
+        ]
+        def fmt(value: Optional[float]) -> str:
+            return f"{value:8.3f}" if value is not None else f"{'-':>8}"
+
+        for workload in self.workloads():
+            roll = self.rollup(workload)
+            lines.append(
+                f"{workload:>12} {roll.completions:>7} {roll.rejections:>5} "
+                f"{roll.kills:>5} {fmt(roll.mean_response_time)} "
+                f"{fmt(roll.p95_response_time)} {fmt(roll.mean_queue_delay)}"
+            )
+        lines.append(
+            f"{'per-node':>12} "
+            + "  ".join(
+                f"{node.name}={self.placements.get(node.name, 0)}"
+                for node in self.nodes
+            )
+        )
+        return "\n".join(lines)
+
+    def timeline_lanes(self, horizon: float, bins: int = 64) -> Dict[str, str]:
+        """Per-node character lanes for the ASCII cluster timeline.
+
+        Load shading comes from each node's monitor samples (running
+        count vs. its MPL); health changes overlay crash (``x``), drain
+        (``~``) and standby (``.``) intervals.
+        """
+        ramp = " .:-=+*#"
+        lanes: Dict[str, str] = {}
+        width = max(horizon, 1e-9)
+        for node in self.nodes:
+            # load per bin from the node's periodic samples
+            load = [0.0] * bins
+            counts = [0] * bins
+            for sample in node.manager.metrics.samples():
+                index = min(bins - 1, int(sample.time / width * bins))
+                load[index] += sample.running / max(node.mpl, 1)
+                counts[index] += 1
+            chars = []
+            for index in range(bins):
+                if counts[index]:
+                    level = load[index] / counts[index]
+                    chars.append(ramp[min(len(ramp) - 1, int(level * (len(ramp) - 1)))])
+                else:
+                    chars.append(" ")
+            # overlay health intervals
+            changes = [c for c in self.health_changes if c.node == node.name]
+            changes.sort(key=lambda c: c.time)
+            marks = {
+                NodeHealth.DOWN: "x",
+                NodeHealth.DRAINING: "~",
+                NodeHealth.STANDBY: ".",
+            }
+            for index, change in enumerate(changes):
+                mark = marks.get(change.health)
+                if mark is None:
+                    continue
+                until = (
+                    changes[index + 1].time if index + 1 < len(changes) else horizon
+                )
+                lo = min(bins - 1, int(change.time / width * bins))
+                hi = min(bins, max(lo + 1, int(until / width * bins) + 1))
+                for k in range(lo, hi):
+                    chars[k] = mark
+            lanes[node.name] = "".join(chars)
+        return lanes

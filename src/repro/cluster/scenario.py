@@ -1,0 +1,146 @@
+"""Cluster scenario builders: one arrival stream, N nodes.
+
+:func:`build_cluster` assembles a homogeneous cluster on a shared
+simulator; :func:`cluster_overload_scenario` is the EXP18 workload — an
+OLTP stream whose rate saturates any single node plus heavy BI queries
+that pile onto whichever node takes them; :func:`run_cluster_scenario`
+wires the two together (generator → dispatcher → nodes), optionally
+arms a fault plan, runs to the horizon and returns the dispatcher for
+inspection.  The CLI ``cluster`` subcommand and the perf harness both
+drive this module, so the demo, the bench and the tests share one
+deterministic code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.failover import FaultInjector, FaultPlan
+from repro.cluster.node import NODE_MACHINE, ClusterNode, NodeHealth
+from repro.cluster.placement import make_policy
+from repro.core.sla import SLASet, response_time_sla
+from repro.engine.resources import MachineSpec
+from repro.engine.simulator import Simulator
+from repro.workloads.generator import (
+    Scenario,
+    WorkloadGenerator,
+    bi_workload,
+    oltp_workload,
+)
+
+#: The cluster SLA used by the demo, EXP18 and the SLA-aware placer.
+CLUSTER_SLAS = SLASet(
+    [
+        response_time_sla("oltp", average=0.5, p95=2.0, importance=3),
+        response_time_sla("bi", average=120.0, importance=1),
+    ]
+)
+
+
+def build_cluster(
+    sim: Simulator,
+    nodes: int = 4,
+    policy: str = "cost",
+    machine: Optional[MachineSpec] = None,
+    mpl: int = 12,
+    max_outstanding: Optional[int] = None,
+    max_queue_depth: Optional[int] = None,
+    standby: int = 0,
+    slas: Optional[SLASet] = None,
+    control_period: float = 1.0,
+    heartbeat_period: float = 1.0,
+) -> ClusterDispatcher:
+    """A homogeneous cluster of ``nodes`` active + ``standby`` spares."""
+    slas = CLUSTER_SLAS if slas is None else slas
+    cluster_nodes = [
+        ClusterNode(
+            sim,
+            name=f"n{index}",
+            machine=machine or NODE_MACHINE,
+            mpl=mpl,
+            max_outstanding=max_outstanding,
+            control_period=control_period,
+            heartbeat_period=heartbeat_period,
+            health=NodeHealth.UP if index < nodes else NodeHealth.STANDBY,
+        )
+        for index in range(nodes + standby)
+    ]
+    return ClusterDispatcher(
+        sim,
+        cluster_nodes,
+        placement=make_policy(policy, slas=slas),
+        slas=slas,
+        max_queue_depth=max_queue_depth,
+        control_period=control_period,
+    )
+
+
+def cluster_overload_scenario(
+    horizon: float = 120.0,
+    oltp_rate: float = 30.0,
+    bi_rate: float = 0.3,
+) -> Scenario:
+    """The EXP18 mix: a fast OLTP stream plus occasional BI monsters.
+
+    The BI stream (~0.3/s of multi-second scans) amounts to roughly one
+    :data:`NODE_MACHINE` node's worth of sustained work — enough to
+    saturate one node but leave a 4-node cluster with ample headroom.
+    Run it at a tight per-node MPL (EXP18 uses 2) and placement decides
+    everything: blind round-robin keeps landing OLTP behind BI monsters
+    that hold the dispatch slots for seconds, while load-aware policies
+    steer the cheap stream to whichever nodes are clear.
+    """
+    return Scenario(
+        specs=(
+            oltp_workload(rate=oltp_rate, priority=3),
+            bi_workload(
+                rate=bi_rate,
+                priority=1,
+                median_cpu=6.0,
+                median_io=10.0,
+                sigma=0.8,
+                memory_low=150.0,
+                memory_high=600.0,
+            ),
+        ),
+        horizon=horizon,
+    )
+
+
+def run_cluster_scenario(
+    seed: int = 42,
+    nodes: int = 4,
+    policy: str = "cost",
+    horizon: float = 120.0,
+    drain: Optional[float] = None,
+    oltp_rate: float = 30.0,
+    bi_rate: float = 0.3,
+    mpl: int = 2,
+    max_queue_depth: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    sim: Optional[Simulator] = None,
+) -> ClusterDispatcher:
+    """Run the canonical cluster demo end to end; returns the dispatcher.
+
+    The returned dispatcher carries a ``generator`` attribute (arrival
+    stream) and, when a fault plan was armed, an ``injector`` attribute.
+    """
+    sim = sim or Simulator(seed=seed)
+    dispatcher = build_cluster(
+        sim, nodes=nodes, policy=policy, mpl=mpl, max_queue_depth=max_queue_depth
+    )
+    scenario = cluster_overload_scenario(
+        horizon=horizon, oltp_rate=oltp_rate, bi_rate=bi_rate
+    )
+    generator: WorkloadGenerator = scenario.build(
+        sim, dispatcher.submit, sessions=dispatcher.sessions
+    )
+    dispatcher.add_completion_listener(generator.notify_done)
+    dispatcher.generator = generator
+    if fault_plan is not None:
+        injector = FaultInjector(dispatcher)
+        injector.arm(fault_plan)
+        dispatcher.injector = injector
+    dispatcher.run(horizon, drain=horizon if drain is None else drain)
+    return dispatcher

@@ -116,6 +116,11 @@ class FCFSDispatcher(Scheduler):
 
 WeightFn = Callable[[Query], float]
 CompletionListener = Callable[[Query], None]
+#: Called when local admission rejects a request.  Returning True means
+#: the interceptor took ownership of the query (e.g. a cluster
+#: dispatcher re-placing it on another node): the manager then neither
+#: finalizes the rejection nor records it.
+RejectionInterceptor = Callable[[Query, AdmissionDecision], bool]
 
 
 class WorkloadManager:
@@ -181,6 +186,7 @@ class WorkloadManager:
         self._workloads: Dict[str, WorkloadInfo] = {}
         self._delayed: List[Query] = []
         self._listeners: List[CompletionListener] = []
+        self._rejection_interceptor: Optional[RejectionInterceptor] = None
         self._pumping = False
         self.submitted_count = 0
         self.rejected_count = 0
@@ -215,6 +221,34 @@ class WorkloadManager:
         """Called for every client-visible terminal outcome."""
         self._listeners.append(listener)
 
+    def set_rejection_interceptor(
+        self, interceptor: Optional[RejectionInterceptor]
+    ) -> None:
+        """Install a hook consulted before any rejection is finalized.
+
+        A cluster-level dispatcher uses this to reclaim requests this
+        server turns away and re-place them on another node; the local
+        manager records nothing for intercepted rejections.
+        """
+        self._rejection_interceptor = interceptor
+
+    def _reject(self, query: Query, decision: AdmissionDecision) -> bool:
+        """Finalize a rejection unless an interceptor takes the query.
+
+        Returns True when the rejection stuck locally.
+        """
+        if self._rejection_interceptor is not None and self._rejection_interceptor(
+            query, decision
+        ):
+            return False
+        query.transition(QueryState.REJECTED)
+        query.end_time = self.sim.now
+        self.rejected_count += 1
+        self.metrics.record_rejection(query)
+        self.query_log.record_query(query)
+        self._notify(query)
+        return True
+
     # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
@@ -238,12 +272,7 @@ class WorkloadManager:
 
         decision = self.admission.decide(query, self.context)
         if decision.outcome is AdmissionOutcome.REJECT:
-            query.transition(QueryState.REJECTED)
-            query.end_time = self.sim.now
-            self.rejected_count += 1
-            self.metrics.record_rejection(query)
-            self.query_log.record_query(query)
-            self._notify(query)
+            self._reject(query, decision)
         elif decision.outcome is AdmissionOutcome.DELAY:
             query.transition(QueryState.QUEUED)
             self._delayed.append(query)
@@ -285,12 +314,7 @@ class WorkloadManager:
         for query in pending:
             decision = self.admission.decide(query, self.context)
             if decision.outcome is AdmissionOutcome.REJECT:
-                query.transition(QueryState.REJECTED)
-                query.end_time = self.sim.now
-                self.rejected_count += 1
-                self.metrics.record_rejection(query)
-                self.query_log.record_query(query)
-                self._notify(query)
+                self._reject(query, decision)
             elif decision.outcome is AdmissionOutcome.DELAY:
                 self._delayed.append(query)
             else:
@@ -365,9 +389,38 @@ class WorkloadManager:
     def outstanding_work(self) -> int:
         return self.queued_count + self.running_count
 
+    def evacuate_queued(self) -> List[Query]:
+        """Withdraw every waiting request (wait queue + delayed holds).
+
+        Used when this server crashes or drains abruptly: the withdrawn
+        queries are returned still in QUEUED state so a cluster
+        dispatcher can re-place them on surviving nodes.  Running work
+        is untouched.
+        """
+        evacuated: List[Query] = []
+        snapshot = getattr(self.scheduler, "queued_queries", None)
+        if snapshot is not None:
+            for query in snapshot():
+                removed = self.scheduler.remove(query.query_id)
+                if removed is not None:
+                    evacuated.append(removed)
+        evacuated.extend(self._delayed)
+        self._delayed.clear()
+        return evacuated
+
     def shutdown(self) -> None:
         """Stop the periodic tick so the simulator can drain."""
         self._ticker.stop()
+
+    def resume_ticks(self) -> None:
+        """Re-arm the periodic control tick after :meth:`shutdown`.
+
+        Used when a crashed/drained node is brought back into service.
+        """
+        self._ticker.stop()
+        self._ticker = self.sim.schedule_periodic(
+            self.control_period, self._tick, label="manager:tick"
+        )
 
     def run(self, horizon: float, drain: float = 0.0) -> None:
         """Run the simulation to ``horizon`` plus a drain window.

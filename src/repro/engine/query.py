@@ -239,8 +239,22 @@ class Query:
     # ------------------------------------------------------------------
     _ALLOWED = {
         QueryState.CREATED: {QueryState.SUBMITTED},
-        QueryState.SUBMITTED: {QueryState.QUEUED, QueryState.RUNNING, QueryState.REJECTED},
-        QueryState.QUEUED: {QueryState.RUNNING, QueryState.REJECTED, QueryState.KILLED},
+        # SUBMITTED -> SUBMITTED: a cluster dispatcher re-placing a
+        # request onto another server re-runs that server's intake.
+        QueryState.SUBMITTED: {
+            QueryState.SUBMITTED,
+            QueryState.QUEUED,
+            QueryState.RUNNING,
+            QueryState.REJECTED,
+        },
+        # QUEUED -> SUBMITTED: a queued request withdrawn from a
+        # draining/crashed node and re-submitted elsewhere.
+        QueryState.QUEUED: {
+            QueryState.SUBMITTED,
+            QueryState.RUNNING,
+            QueryState.REJECTED,
+            QueryState.KILLED,
+        },
         QueryState.RUNNING: {
             QueryState.BLOCKED,
             QueryState.SUSPENDED,

@@ -123,3 +123,38 @@ def ascii_bar_chart(
             f"{name.rjust(label_width)} | {bar} {value:.4g}{unit}"
         )
     return "\n".join(lines)
+
+
+def ascii_cluster_timeline(
+    lanes: Mapping[str, str],
+    horizon: float,
+    title: str = "CLUSTER TIMELINE",
+) -> str:
+    """Render per-node load/health lanes as one labelled timeline.
+
+    ``lanes`` maps node name to an equal-length character lane — load
+    shading (`` .:-=+*#``) with health overlays ``x`` (down), ``~``
+    (draining) and ``.`` (standby) — as produced by
+    :meth:`repro.cluster.metrics.ClusterMetrics.timeline_lanes`.
+    """
+    if not lanes:
+        raise ValueError("lanes must be non-empty")
+    widths = {len(lane) for lane in lanes.values()}
+    if len(widths) != 1:
+        raise ValueError(f"lanes must share one width, got {sorted(widths)}")
+    width = widths.pop()
+    label_width = max(len(name) for name in lanes)
+    lines: List[str] = [title] if title else []
+    lines.append(
+        " " * label_width
+        + "  load: ' .:-=+*#' (running/MPL)   health: x=down ~=draining .=standby"
+    )
+    for name, lane in lanes.items():
+        lines.append(f"{name.rjust(label_width)} |{lane}|")
+    lines.append(" " * label_width + " +" + "-" * width + "+")
+    left = "0s"
+    right = f"{horizon:.0f}s"
+    lines.append(
+        " " * label_width + f"  {left}" + right.rjust(width - len(left))
+    )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Failover tests: fault plans, crash recovery, recover-to-service."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterDispatcher,
+    ClusterNode,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    NodeHealth,
+    make_policy,
+)
+from repro.engine.query import QueryState
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_query
+
+
+def _cluster(seed=5, count=2, mpl=2):
+    sim = Simulator(seed=seed)
+    nodes = [ClusterNode(sim, name=f"n{i}", mpl=mpl) for i in range(count)]
+    dispatcher = ClusterDispatcher(
+        sim, nodes, placement=make_policy("round-robin")
+    )
+    return sim, dispatcher
+
+
+class TestFaultPlanValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(-1.0, "n0", FaultKind.CRASH)
+
+    def test_degrade_factor_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(1.0, "n0", FaultKind.DEGRADE, factor=2.0)
+
+    def test_unknown_node_rejected_at_arm_time(self):
+        _, dispatcher = _cluster()
+        injector = FaultInjector(dispatcher)
+        with pytest.raises(KeyError):
+            injector.arm(FaultPlan.node_kill("ghost", at=1.0))
+
+    def test_node_kill_builder_includes_recovery(self):
+        plan = FaultPlan.node_kill("n0", at=5.0, recover_at=9.0)
+        assert [e.kind for e in plan.events] == [
+            FaultKind.CRASH,
+            FaultKind.RECOVER,
+        ]
+
+
+class TestCrashRecovery:
+    def test_in_flight_work_is_resubmitted_and_completes(self):
+        sim, dispatcher = _cluster()
+        long_query = make_query(cpu=20.0, io=0.0, sql="bi:q")
+        dispatcher.submit(long_query)  # -> n0
+        injector = FaultInjector(dispatcher)
+        injector.arm(FaultPlan.node_kill("n0", at=2.0))
+        dispatcher.run(3.0, drain=120.0)
+        assert injector.lost_and_resubmitted == 1
+        assert long_query.state is QueryState.COMPLETED
+        assert long_query.restarts == 1
+        assert dispatcher.node("n1").placed_count == 1  # finished elsewhere
+
+    def test_queued_work_is_evacuated_without_restart_penalty(self):
+        sim, dispatcher = _cluster(count=2, mpl=1)
+        # saturate n0: one running + one queued behind it
+        running = make_query(cpu=20.0, io=0.0, sql="bi:q")
+        queued = make_query(cpu=0.5, io=0.0, sql="oltp:q")
+        dispatcher.submit(running)   # n0 running
+        other = make_query(cpu=20.0, io=0.0, sql="bi:q")
+        dispatcher.submit(other)     # n1 running
+        dispatcher.submit(queued)    # n0's local queue
+        assert dispatcher.node("n0").queued == 1
+        injector = FaultInjector(dispatcher)
+        injector.arm(FaultPlan.node_kill("n0", at=1.0))
+        dispatcher.run(2.0, drain=200.0)
+        assert queued.state is QueryState.COMPLETED
+        assert queued.restarts == 0          # never started: no restart
+        assert running.restarts == 1         # lost mid-flight: restarted
+        assert dispatcher.completions == 3
+
+    def test_recovered_node_takes_placements_again(self):
+        sim, dispatcher = _cluster()
+        injector = FaultInjector(dispatcher)
+        injector.arm(FaultPlan.node_kill("n0", at=1.0, recover_at=2.0))
+        sim.run_until(3.0)
+        node = dispatcher.node("n0")
+        assert node.health is NodeHealth.UP
+        before = node.placed_count
+        dispatcher.submit(make_query(cpu=0.1, io=0.0, sql="oltp:q"))
+        dispatcher.submit(make_query(cpu=0.1, io=0.0, sql="oltp:q"))
+        assert node.placed_count > before
+        dispatcher.run(3.0, drain=30.0)
+        assert dispatcher.completions == dispatcher.arrivals
+
+    def test_degrade_and_recover_fire_in_order(self):
+        sim, dispatcher = _cluster()
+        injector = FaultInjector(dispatcher)
+        injector.arm(
+            FaultPlan(
+                (
+                    FaultEvent(1.0, "n1", FaultKind.DEGRADE, factor=0.5),
+                    FaultEvent(2.0, "n1", FaultKind.DRAIN),
+                    FaultEvent(3.0, "n1", FaultKind.RECOVER),
+                )
+            )
+        )
+        node = dispatcher.node("n1")
+        sim.run_until(1.5)
+        assert node.speed_factor == 0.5
+        sim.run_until(2.5)
+        assert node.health is NodeHealth.DRAINING
+        sim.run_until(3.5)
+        assert node.health is NodeHealth.UP and node.speed_factor == 1.0
+        assert [e.kind for e in injector.fired] == [
+            FaultKind.DEGRADE,
+            FaultKind.DRAIN,
+            FaultKind.RECOVER,
+        ]
+        dispatcher.shutdown()
+
+    def test_crash_is_deterministic_across_runs(self):
+        def run_once():
+            sim, dispatcher = _cluster(seed=13)
+            for index in range(20):
+                query = make_query(cpu=1.0, io=0.5, sql="oltp:q")
+                sim.schedule_at(
+                    0.3 * index, lambda q=query: dispatcher.submit(q)
+                )
+            injector = FaultInjector(dispatcher)
+            injector.arm(FaultPlan.node_kill("n0", at=3.0))
+            dispatcher.run(6.0, drain=120.0)
+            return (
+                dispatcher.completions,
+                dispatcher.resubmissions,
+                injector.lost_and_resubmitted,
+                dispatcher.metrics.placements,
+            )
+
+        assert run_once() == run_once()

@@ -1,0 +1,94 @@
+"""Cluster-metrics tests: rollups, tables, timeline lanes."""
+
+import pytest
+
+from repro.cluster import ClusterDispatcher, ClusterNode, make_policy
+from repro.engine.simulator import Simulator
+from repro.reporting.figures import ascii_cluster_timeline
+
+from tests.conftest import make_query
+
+
+def _run_cluster(seed=5, count=2, queries=8):
+    sim = Simulator(seed=seed)
+    nodes = [ClusterNode(sim, name=f"n{i}", mpl=2) for i in range(count)]
+    dispatcher = ClusterDispatcher(
+        sim, nodes, placement=make_policy("round-robin")
+    )
+    for index in range(queries):
+        query = make_query(cpu=0.5, io=0.2, sql="oltp:q")
+        sim.schedule_at(0.2 * index, lambda q=query: dispatcher.submit(q))
+    dispatcher.run(2.0, drain=60.0)
+    return sim, dispatcher
+
+
+class TestRollup:
+    def test_rollup_merges_across_nodes(self):
+        sim, dispatcher = _run_cluster()
+        roll = dispatcher.metrics.rollup("oltp")
+        assert roll.completions == 8
+        per_node = sum(
+            node.manager.metrics.stats_for("oltp").completions
+            for node in dispatcher.nodes
+        )
+        assert per_node == 8  # nothing double counted
+        assert roll.mean_response_time > 0.0
+        assert roll.p95_response_time >= 0.0
+        assert roll.mean_queue_delay is not None
+
+    def test_empty_workload_rollup_is_none(self):
+        sim, dispatcher = _run_cluster(queries=0)
+        roll = dispatcher.metrics.rollup("ghost")
+        assert roll.completions == 0
+        assert roll.mean_response_time is None
+
+    def test_aggregate_throughput(self):
+        sim, dispatcher = _run_cluster()
+        metrics = dispatcher.metrics
+        assert metrics.total_completions() == 8
+        assert metrics.aggregate_throughput(sim.now) == pytest.approx(
+            8 / sim.now
+        )
+
+    def test_placement_counts_sum_to_decisions(self):
+        sim, dispatcher = _run_cluster()
+        metrics = dispatcher.metrics
+        assert (
+            sum(metrics.placements.values()) == metrics.placement_decisions == 8
+        )
+
+
+class TestRendering:
+    def test_rollup_table_mentions_workloads_and_nodes(self):
+        sim, dispatcher = _run_cluster()
+        table = dispatcher.metrics.rollup_table(sim.now)
+        assert "oltp" in table
+        assert "n0=" in table and "n1=" in table
+        assert "CLUSTER ROLLUP" in table
+
+    def test_timeline_lanes_shapes(self):
+        sim, dispatcher = _run_cluster()
+        lanes = dispatcher.metrics.timeline_lanes(sim.now, bins=32)
+        assert set(lanes) == {"n0", "n1"}
+        assert all(len(lane) == 32 for lane in lanes.values())
+
+    def test_timeline_marks_crashed_interval(self):
+        sim, dispatcher = _run_cluster()
+        node = dispatcher.node("n1")
+        dispatcher.crash_node(node)
+        lanes = dispatcher.metrics.timeline_lanes(sim.now + 10.0, bins=32)
+        assert "x" in lanes["n1"]
+        assert "x" not in lanes["n0"]
+
+    def test_ascii_cluster_timeline_renders(self):
+        sim, dispatcher = _run_cluster()
+        lanes = dispatcher.metrics.timeline_lanes(sim.now, bins=16)
+        art = ascii_cluster_timeline(lanes, sim.now)
+        assert "n0 |" in art and "n1 |" in art
+        assert "0s" in art
+
+    def test_ascii_cluster_timeline_validates_input(self):
+        with pytest.raises(ValueError):
+            ascii_cluster_timeline({}, 10.0)
+        with pytest.raises(ValueError):
+            ascii_cluster_timeline({"a": "##", "b": "###"}, 10.0)

@@ -40,6 +40,40 @@ class TestDemo:
         assert "xput" in out
 
 
+class TestCluster:
+    def test_cluster_runs_and_prints_rollup_and_timeline(self, capsys):
+        code = main(
+            ["cluster", "--nodes", "2", "--seed", "7", "--horizon", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CLUSTER ROLLUP" in out
+        assert "CLUSTER TIMELINE" in out
+        assert "n0 |" in out and "n1 |" in out
+        assert "oltp" in out
+
+    def test_cluster_kill_node(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--nodes", "2",
+                "--policy", "round-robin",
+                "--seed", "7",
+                "--horizon", "10",
+                "--kill-node", "n1",
+                "--kill-at", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "killing n1" in out
+        assert "x" in out  # down interval marked on the timeline
+
+    def test_cluster_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--policy", "dartboard"])
+
+
 class TestClassify:
     def test_classify_known_features(self, capsys):
         code = main(

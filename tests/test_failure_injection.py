@@ -335,3 +335,86 @@ class TestSnapshotInvalidation:
         after = engine.running_queries()
         assert len(before) == 2  # stale snapshot kept its members
         assert [q.query_id for q in after] == [slow.query_id]
+
+
+class TestNodeCrashChaos:
+    """Cluster-level chaos: crash nodes mid-run, audit conservation.
+
+    Every arrival must terminate exactly once (completed or accounted a
+    cluster rejection) with no duplicate terminal outcomes — crash-lost
+    work is resubmitted, never silently dropped or double-counted.
+    """
+
+    def _run(self, victims, seed=11, policy="round-robin", queue_depth=None):
+        from collections import Counter
+
+        from repro.cluster import FaultInjector, FaultPlan, FaultEvent, FaultKind
+        from repro.cluster.scenario import build_cluster, cluster_overload_scenario
+
+        sim = Simulator(seed=seed)
+        dispatcher = build_cluster(
+            sim, nodes=4, policy=policy, mpl=4, max_queue_depth=queue_depth
+        )
+        outcomes = Counter()
+        dispatcher.add_completion_listener(
+            lambda query: outcomes.update([query.query_id])
+        )
+        scenario = cluster_overload_scenario(
+            horizon=30.0, oltp_rate=20.0, bi_rate=1.2
+        )
+        generator = scenario.build(
+            sim, dispatcher.submit, sessions=dispatcher.sessions
+        )
+        dispatcher.add_completion_listener(generator.notify_done)
+        injector = FaultInjector(dispatcher)
+        injector.arm(
+            FaultPlan(
+                tuple(
+                    FaultEvent(15.0 + index, victim, FaultKind.CRASH)
+                    for index, victim in enumerate(victims)
+                )
+            )
+        )
+        dispatcher.run(30.0, drain=300.0)
+        return dispatcher, injector, outcomes
+
+    def _audit(self, dispatcher, outcomes):
+        assert (
+            dispatcher.completions + dispatcher.rejections == dispatcher.arrivals
+        )
+        assert dispatcher.outstanding_work() == 0
+        assert sum(outcomes.values()) == dispatcher.arrivals
+        assert [qid for qid, count in outcomes.items() if count > 1] == []
+
+    def test_each_node_crash_conserves_queries(self):
+        for victim in ("n0", "n1", "n2", "n3"):
+            dispatcher, injector, outcomes = self._run([victim])
+            assert injector.lost_and_resubmitted >= 1, victim
+            self._audit(dispatcher, outcomes)
+            assert dispatcher.rejections == 0  # unbounded cluster queue
+
+    def test_cascading_crashes_leave_one_survivor(self):
+        dispatcher, injector, outcomes = self._run(["n0", "n1", "n2"])
+        self._audit(dispatcher, outcomes)
+        survivor = dispatcher.node("n3")
+        from repro.cluster import NodeHealth
+
+        assert survivor.health is NodeHealth.UP
+        assert injector.lost_and_resubmitted >= 3
+        assert dispatcher.completions > 0
+
+    def test_crash_with_bounded_queue_accounts_rejections(self):
+        dispatcher, injector, outcomes = self._run(
+            ["n0", "n1", "n2"], queue_depth=5
+        )
+        self._audit(dispatcher, outcomes)
+
+    def test_crashed_node_never_takes_new_placements(self):
+        dispatcher, injector, outcomes = self._run(["n1"])
+        victim = dispatcher.node("n1")
+        placed_at_crash = victim.placed_count
+        assert victim.manager.running_count == 0
+        assert victim.manager.queued_count == 0
+        # the count never moved after the crash: re-run further and check
+        dispatcher.sim.run_until(dispatcher.sim.now + 50.0)
+        assert victim.placed_count == placed_at_crash

@@ -15,7 +15,7 @@ import pytest
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
 
-EXPERIMENT_IDS = [f"exp{i}" for i in range(1, 18)]
+EXPERIMENT_IDS = [f"exp{i}" for i in range(1, 19)]
 EXPECTED_EXAMPLES = [
     "quickstart.py",
     "consolidation_protection.py",
@@ -37,6 +37,7 @@ EXPECTED_SUBPACKAGES = [
     "repro.systems",
     "repro.ml",
     "repro.reporting",
+    "repro.cluster",
 ]
 
 
@@ -100,7 +101,7 @@ class TestDocumentation:
         text = (REPO / "EXPERIMENTS.md").read_text()
         for artifact in ("FIG1", "TAB1", "TAB2", "TAB3", "TAB4", "TAB5"):
             assert artifact in text
-        for index in range(1, 18):
+        for index in range(1, 19):
             assert f"EXP{index}" in text, f"EXP{index} missing"
         for ablation in ("ABL1", "ABL2", "ABL3", "ABL4"):
             assert ablation in text
