@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-full bench-baseline artifacts lint
+.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline artifacts lint
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -24,6 +24,16 @@ bench:
 # Full macro-scenarios (the committed before/after record).
 bench-full:
 	$(PY) -m benchmarks.perf --mode full
+
+# Parallel == serial invariant: run the quick suite sharded over two
+# worker processes; fails unless every reduced digest is bit-identical
+# to the committed serial baseline.
+bench-parallel:
+	$(PY) -m benchmarks.perf --workers 2
+
+# Placement-path micro-bench: eligible-node caching win at 16+ nodes.
+bench-placement:
+	$(PY) -m benchmarks.perf.micro_placement
 
 # Re-record the committed baseline after an intentional perf change.
 bench-baseline:

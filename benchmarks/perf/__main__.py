@@ -16,6 +16,7 @@ from benchmarks.perf.harness import (
     check_regression,
     load_baseline,
     run_suite,
+    run_suite_parallel,
 )
 
 
@@ -33,6 +34,14 @@ def main(argv=None) -> int:
         "full: the committed macro-scenario sizes",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run the suite's shards over N worker processes "
+        "(repro.parallel); digests are still gated against the "
+        "committed baseline, timings are reported but not gated",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="rewrite the matching section of BENCH_core.json with this "
@@ -44,6 +53,39 @@ def main(argv=None) -> int:
         help="report timings without failing on regression",
     )
     args = parser.parse_args(argv)
+
+    if args.workers > 1:
+        print(f"perf suite ({args.mode} mode, {args.workers} workers):")
+        results, meta = run_suite_parallel(
+            mode=args.mode, workers=args.workers, log=None
+        )
+        for name, result in results.items():
+            print(
+                f"  {name:>14}: {result['wall_s']:8.3f}s worker-wall "
+                f"({result['shards']} shards), "
+                f"{result['completed']:>7} completed, "
+                f"digest {str(result['digest'])[:12]}…"
+            )
+        print(
+            f"  harness wall {meta['harness_wall_s']:.3f}s for "
+            f"{meta['worker_wall_s']:.3f}s of worker time"
+            + (" (serial fallback)" if meta["fell_back_serial"] else "")
+        )
+        if any(
+            r.get("run_to_run_identical") is False for r in results.values()
+        ):
+            print("FAIL: seeded run not reproducible across workers")
+            return 1
+        baseline = load_baseline()
+        if baseline is None:
+            print(f"no baseline at {BASELINE_PATH}; digests unchecked")
+            return 0
+        section = "quick" if args.mode == "quick" else "full"
+        ok = check_regression(
+            results, {"quick": baseline.get(section, {})}, factor=None
+        )
+        print("digest gate: OK" if ok else "digest gate: FAILED")
+        return 0 if ok else 1
 
     print(f"perf suite ({args.mode} mode):")
     results = run_suite(mode=args.mode)

@@ -13,54 +13,29 @@ the repository.
 from __future__ import annotations
 
 import json
-import struct
 import time
-from hashlib import sha256
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+# Canonical digest implementations live in the library so the sweep
+# runtime and the harness hash identically; re-exported here because
+# the committed BENCH_core.json format predates repro.parallel.
+from repro.parallel.digest import combine, outcome_digest  # noqa: F401
+from repro.parallel.runner import run_tasks
+from repro.parallel.spec import RunTask, make_task
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
 
 #: a quick-mode scenario slower than factor × committed baseline fails
 REGRESSION_FACTOR = 2.0
 
-
-def outcome_digest(manager) -> str:
-    """SHA-256 over a manager's full-precision outcome streams.
-
-    Covers, in deterministic order: final simulated time, counters, and
-    every per-workload outcome list (response times, queue delays,
-    velocities, completion times) at full float precision.  Two runs are
-    behaviourally identical iff their digests match.
-    """
-    h = sha256()
-    h.update(struct.pack("<d", manager.sim.now))
-    h.update(
-        struct.pack("<qq", manager.submitted_count, manager.rejected_count)
-    )
-    for name in sorted(manager.metrics.workloads()):
-        stats = manager.metrics.stats_for(name)
-        h.update(name.encode("utf-8"))
-        h.update(
-            struct.pack(
-                "<qqqqq",
-                stats.completions,
-                stats.rejections,
-                stats.kills,
-                stats.aborts,
-                stats.suspensions,
-            )
-        )
-        for series in (
-            stats.response_times,
-            stats.queue_delays,
-            stats.velocities,
-            stats.completion_times,
-        ):
-            h.update(struct.pack("<q", len(series)))
-            if series:
-                h.update(struct.pack(f"<{len(series)}d", *series))
-    return h.hexdigest()
+#: per-scenario master seeds (fixed; part of the committed digests)
+SCENARIO_SEEDS = {
+    "high_mpl": 7,
+    "mixed_pipeline": 11,
+    "sla_polling": 13,
+    "cluster": 19,
+}
 
 
 def run_suite(
@@ -95,6 +70,122 @@ def run_suite(
     return results
 
 
+def shard_plan(mode: str) -> List[Tuple[str, RunTask]]:
+    """The suite as ``(scenario, task)`` shards for the parallel runner.
+
+    ``high_mpl`` shards along its MPL axis (each level is an
+    independent seeded sub-run); the other scenarios are single shards.
+    Shard order per scenario is the serial sub-run order, so the
+    reduced digests are bit-identical to serial execution.
+    """
+    from benchmarks.perf.scenarios import HIGH_MPL_LEVELS, quick_scale_for
+
+    scale = quick_scale_for(mode)
+    plan: List[Tuple[str, RunTask]] = []
+    for mpl in HIGH_MPL_LEVELS:
+        plan.append(
+            (
+                "high_mpl",
+                make_task(
+                    "benchmarks.perf.scenarios:run_high_mpl_shard",
+                    seed=SCENARIO_SEEDS["high_mpl"],
+                    scale=scale,
+                    mpl=mpl,
+                ),
+            )
+        )
+    for name in ("mixed_pipeline", "sla_polling", "cluster"):
+        plan.append(
+            (
+                name,
+                make_task(
+                    f"benchmarks.perf.scenarios:run_{name}",
+                    seed=SCENARIO_SEEDS[name],
+                    scale=scale,
+                ),
+            )
+        )
+    return plan
+
+
+def run_suite_parallel(
+    mode: str = "quick",
+    workers: int = 2,
+    repeat_for_determinism: bool = True,
+    log: Optional[Callable[[str], None]] = print,
+) -> Tuple[Dict[str, Dict[str, object]], Dict[str, object]]:
+    """Run the suite's shards concurrently; reduce in shard order.
+
+    Returns ``(results, meta)`` where ``results`` has the same shape
+    (and — by the determinism contract — the same digests) as
+    :func:`run_suite`, and ``meta`` carries harness-level telemetry:
+    total wall-clock, the sum of per-shard worker walls (the serial-
+    equivalent cost) and the worker count.
+
+    With ``repeat_for_determinism`` the first scenario's shards are
+    duplicated under distinct keys and the reduced digests compared, so
+    run-to-run reproducibility is checked *across worker processes*.
+    """
+    from benchmarks.perf.scenarios import reduce_shards
+
+    plan = shard_plan(mode)
+    first_scenario = plan[0][0]
+    tasks = [task for _, task in plan]
+    repeats: List[RunTask] = []
+    if repeat_for_determinism:
+        repeats = [
+            make_task(
+                task.runner,
+                seed=task.seed,
+                key=f"{task.key}#repeat",
+                **task.kwargs,
+            )
+            for scenario, task in plan
+            if scenario == first_scenario
+        ]
+    sweep = run_tasks(tasks + repeats, workers=workers, log=log)
+    by_key = {o.task.key: o.value for o in sweep.outcomes if o.value}
+
+    results: Dict[str, Dict[str, object]] = {}
+    scenario_order = list(dict.fromkeys(name for name, _ in plan))
+    for name in scenario_order:
+        shards = [by_key[task.key] for s, task in plan if s == name]
+        result = reduce_shards(shards)
+        result["wall_s"] = round(
+            sum(float(s["task_wall_s"]) for s in shards), 3
+        )
+        result["mode"] = mode
+        result["shards"] = len(shards)
+        results[name] = result
+        if log is not None:
+            log(
+                f"  {name:>14}: {result['wall_s']:8.3f}s worker-wall "
+                f"({result['shards']} shard{'s' if result['shards'] > 1 else ''}), "
+                f"{result['completed']:>7} completed, digest "
+                f"{str(result['digest'])[:12]}…"
+            )
+    if repeats:
+        rerun = reduce_shards([by_key[task.key] for task in repeats])
+        results[first_scenario]["run_to_run_identical"] = (
+            rerun["digest"] == results[first_scenario]["digest"]
+        )
+    meta = {
+        "harness_wall_s": sweep.wall_s,
+        "worker_wall_s": round(
+            sum(
+                float(o.value["task_wall_s"])
+                for o in sweep.outcomes
+                if o.value is not None
+            ),
+            3,
+        ),
+        "workers": workers,
+        "mode": mode,
+        "fell_back_serial": sweep.fell_back_serial,
+    }
+    return results, meta
+
+
 def load_baseline(path: Path = BASELINE_PATH) -> Optional[Dict]:
     if not path.exists():
         return None
@@ -105,14 +196,16 @@ def load_baseline(path: Path = BASELINE_PATH) -> Optional[Dict]:
 def check_regression(
     results: Dict[str, Dict[str, object]],
     baseline: Dict,
-    factor: float = REGRESSION_FACTOR,
+    factor: Optional[float] = REGRESSION_FACTOR,
     log: Optional[Callable[[str], None]] = print,
 ) -> bool:
     """True iff no scenario regressed beyond ``factor``× the baseline.
 
     Also re-checks determinism: a digest recorded in the baseline for the
     same mode must still match (the committed digests pin simulated
-    behaviour, not just speed).
+    behaviour, not just speed).  ``factor=None`` skips the timing check
+    and gates on digests only — what parallel runs use, where per-shard
+    walls depend on worker contention.
     """
     ok = True
     committed = baseline.get("quick", {})
@@ -121,7 +214,7 @@ def check_regression(
         if base is None:
             continue
         wall, base_wall = float(result["wall_s"]), float(base["wall_s"])
-        if base_wall > 0 and wall > factor * base_wall:
+        if factor is not None and base_wall > 0 and wall > factor * base_wall:
             ok = False
             if log:
                 log(

@@ -1,0 +1,112 @@
+"""Placement-path micro-bench: eligible-node caching at 16+ nodes.
+
+``python -m benchmarks.perf.micro_placement`` (or ``make bench-placement``)
+runs the cluster overload scenario at widening cluster sizes twice —
+once with the dispatcher's eligible-node cache enabled (the default) and
+once with ``cache_eligible=False`` (full accepting-scan per placement) —
+and reports the wall-clock ratio.  Because the cache is a pure
+memoisation over edge-triggered invalidation, both runs must produce
+bit-identical dispatcher digests; the bench fails loudly if they don't,
+so it doubles as an equivalence test for the invalidation hooks.
+
+The OLTP rate scales with the node count so per-node load stays roughly
+constant: the placement path is exercised ~rate x horizon times and the
+uncached scan is O(nodes) per placement, so the win grows with cluster
+size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.cluster.scenario import run_cluster_scenario
+from repro.parallel.digest import dispatcher_digest
+
+NODE_COUNTS = (16, 32, 64)
+
+
+def run_once(
+    nodes: int,
+    cache_eligible: bool,
+    horizon: float,
+    seed: int = 19,
+) -> Dict[str, object]:
+    """One scenario run; returns wall seconds + the dispatcher digest."""
+    oltp_rate = 12.0 * nodes  # keep per-node load constant as we widen
+    start = time.perf_counter()
+    dispatcher = run_cluster_scenario(
+        seed=seed,
+        nodes=nodes,
+        policy="least",
+        horizon=horizon,
+        oltp_rate=oltp_rate,
+        bi_rate=0.3,
+        mpl=2,
+        cache_eligible=cache_eligible,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "nodes": nodes,
+        "wall_s": wall,
+        "completions": dispatcher.completions,
+        "digest": dispatcher_digest(dispatcher),
+    }
+
+
+def run_bench(node_counts=NODE_COUNTS, horizon: float = 20.0) -> List[dict]:
+    """Cache on/off A/B at each cluster size; verifies digest equality."""
+    rows = []
+    for nodes in node_counts:
+        cached = run_once(nodes, cache_eligible=True, horizon=horizon)
+        scanned = run_once(nodes, cache_eligible=False, horizon=horizon)
+        rows.append(
+            {
+                "nodes": nodes,
+                "cached_s": cached["wall_s"],
+                "scan_s": scanned["wall_s"],
+                "speedup": scanned["wall_s"] / max(cached["wall_s"], 1e-9),
+                "completions": cached["completions"],
+                "digest_match": cached["digest"] == scanned["digest"],
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.micro_placement",
+        description="A/B the dispatcher's eligible-node cache against a "
+        "full scan per placement at 16/32/64 nodes.",
+    )
+    parser.add_argument("--horizon", type=float, default=20.0)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=list(NODE_COUNTS),
+        help="cluster sizes to sweep",
+    )
+    args = parser.parse_args(argv)
+
+    print("placement micro-bench (cache_eligible A/B):")
+    print(f"  {'nodes':>5}  {'cached':>8}  {'scan':>8}  {'speedup':>7}  digest")
+    ok = True
+    for row in run_bench(node_counts=args.nodes, horizon=args.horizon):
+        match = "match" if row["digest_match"] else "MISMATCH"
+        ok = ok and row["digest_match"]
+        print(
+            f"  {row['nodes']:>5}  {row['cached_s']:>7.3f}s  "
+            f"{row['scan_s']:>7.3f}s  {row['speedup']:>6.2f}x  {match}  "
+            f"({row['completions']} completed)"
+        )
+    if not ok:
+        print("FAIL: eligible-node cache changed behavior (digest mismatch)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,10 +16,11 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
-from typing import Dict
+from typing import Dict, List, Sequence, Tuple
 
 from benchmarks._scenarios import build_manager, drive
 from benchmarks.perf.harness import outcome_digest
+from repro.parallel.digest import combine, dispatcher_digest
 from repro.core.interfaces import ExecutionController, ManagerContext
 from repro.core.manager import FCFSDispatcher
 from repro.core.sla import SLASet, response_time_sla
@@ -55,6 +56,49 @@ def _closed_spec(population: int, name: str = "closed") -> WorkloadSpec:
     )
 
 
+#: The MPL levels of the high-load sweep; each level is an independent
+#: seeded sub-run, so the parallel harness shards along this axis.
+HIGH_MPL_LEVELS = (16, 48, 96)
+
+
+def run_high_mpl_shard(
+    scale: float = 1.0, seed: int = 7, mpl: int = 16
+) -> Dict[str, object]:
+    """One MPL level of the high-load sweep (a parallelizable shard)."""
+    horizon = max(10.0, 220.0 * scale)
+    sim = Simulator(seed=seed + mpl)
+    manager = build_manager(sim, scheduler=FCFSDispatcher(max_concurrency=mpl))
+    scenario = Scenario(specs=(_closed_spec(population=128),), horizon=horizon)
+    drive(manager, scenario)
+    stats = manager.metrics.stats_for("closed")
+    return {
+        "completed": stats.completions,
+        "submitted": manager.submitted_count,
+        "events": sim.events_fired,
+        "sim_time": sim.now,
+        "digest": outcome_digest(manager),
+    }
+
+
+def reduce_shards(shards: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Fold ordered shard results into one scenario result.
+
+    Counters sum; the digest is the order-sensitive digest-of-digests
+    (:func:`repro.parallel.digest.combine`), identical to what the
+    serial scenario computes — so sharded and unsharded runs are
+    digest-comparable.
+    """
+    if len(shards) == 1:
+        return dict(shards[0])
+    return {
+        "completed": sum(int(s["completed"]) for s in shards),
+        "submitted": sum(int(s["submitted"]) for s in shards),
+        "events": sum(int(s["events"]) for s in shards),
+        "sim_time": sum(float(s["sim_time"]) for s in shards),
+        "digest": combine(str(s["digest"]) for s in shards),
+    }
+
+
 def run_high_mpl(scale: float = 1.0, seed: int = 7) -> Dict[str, object]:
     """EXP1-style MPL sweep at high load.
 
@@ -63,31 +107,9 @@ def run_high_mpl(scale: float = 1.0, seed: int = 7) -> Dict[str, object]:
     triggers a finish + replacement-start reallocation over dozens of
     concurrent queries.  Full mode completes well over 50k queries.
     """
-    horizon = max(10.0, 220.0 * scale)
-    sub_digests = []
-    completed = submitted = events = 0
-    sim_time = 0.0
-    for mpl in (16, 48, 96):
-        sim = Simulator(seed=seed + mpl)
-        manager = build_manager(
-            sim, scheduler=FCFSDispatcher(max_concurrency=mpl)
-        )
-        scenario = Scenario(specs=(_closed_spec(population=128),), horizon=horizon)
-        drive(manager, scenario)
-        stats = manager.metrics.stats_for("closed")
-        completed += stats.completions
-        submitted += manager.submitted_count
-        events += sim.events_fired
-        sim_time += sim.now
-        sub_digests.append(outcome_digest(manager))
-    digest = hashlib.sha256("".join(sub_digests).encode("ascii")).hexdigest()
-    return {
-        "completed": completed,
-        "submitted": submitted,
-        "events": events,
-        "sim_time": sim_time,
-        "digest": digest,
-    }
+    return reduce_shards(
+        [run_high_mpl_shard(scale, seed, mpl) for mpl in HIGH_MPL_LEVELS]
+    )
 
 
 def run_mixed_pipeline(scale: float = 1.0, seed: int = 11) -> Dict[str, object]:
@@ -252,28 +274,13 @@ def run_cluster(scale: float = 1.0, seed: int = 19) -> Dict[str, object]:
             f"{dispatcher.rejections} rejected != "
             f"{dispatcher.arrivals} arrivals"
         )
-    h = hashlib.sha256()
-    for node in dispatcher.nodes:
-        h.update(outcome_digest(node.manager).encode("ascii"))
-    h.update(
-        struct.pack(
-            "<qqqqq",
-            dispatcher.arrivals,
-            dispatcher.completions,
-            dispatcher.rejections,
-            dispatcher.resubmissions,
-            dispatcher.metrics.replacements,
-        )
-    )
-    for node in dispatcher.nodes:
-        h.update(struct.pack("<q", dispatcher.metrics.placements[node.name]))
     return {
         "completed": dispatcher.completions,
         "submitted": dispatcher.arrivals,
         "events": dispatcher.sim.events_fired,
         "sim_time": dispatcher.sim.now,
         "resubmitted": dispatcher.resubmissions,
-        "digest": h.hexdigest(),
+        "digest": dispatcher_digest(dispatcher),
     }
 
 

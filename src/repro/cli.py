@@ -6,6 +6,7 @@ Usage::
     python -m repro tables [1..5|all]      # regenerate the tables
     python -m repro demo [--seed N]        # run the mixed-workload demo
     python -m repro cluster --nodes 4 --policy cost   # multi-node demo
+    python -m repro sweep --workers 4      # parallel policy × seed sweep
     python -m repro classify F1 F2 ...     # classify a feature set
     python -m repro features               # list classification features
 
@@ -97,6 +98,42 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel import rollup_table, run_policy_sweep
+
+    policies = (
+        list(args.policies.split(","))
+        if args.policies != "all"
+        else ["round-robin", "least", "cost", "sla"]
+    )
+    seeds = args.seeds
+    print(
+        f"Sweeping {len(policies)} placement polic"
+        f"{'y' if len(policies) == 1 else 'ies'} × {len(seeds)} seeds "
+        f"({len(policies) * len(seeds)} runs, {args.workers} worker"
+        f"{'' if args.workers == 1 else 's'}, {args.nodes} nodes, "
+        f"{args.horizon:.0f}s horizon)..."
+    )
+    result = run_policy_sweep(
+        policies=policies,
+        seeds=seeds,
+        workers=args.workers,
+        nodes=args.nodes,
+        horizon=args.horizon,
+        mpl=args.mpl,
+    )
+    print()
+    print(rollup_table(result))
+    print()
+    print(
+        f"{len(result.outcomes)} runs in {result.wall_s:.2f}s wall "
+        f"({result.workers} workers"
+        + (", serial fallback" if result.fell_back_serial else "")
+        + f"); sweep digest {result.digest[:16]}…"
+    )
+    return 0
+
+
 def _cmd_features(args: argparse.Namespace) -> int:
     from repro.core.registry import Feature
 
@@ -172,6 +209,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="revive the killed node at this time",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="parallel placement-policy × seed sweep with a rollup table",
+    )
+    sweep.add_argument(
+        "--policies",
+        default="all",
+        help="comma-separated placement policies, or 'all' "
+        "(round-robin,least,cost,sla)",
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[42, 43, 44],
+        help="seed replications per policy",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes (1 = in-process serial execution)",
+    )
+    sweep.add_argument("--nodes", type=int, default=4)
+    sweep.add_argument("--horizon", type=float, default=60.0)
+    sweep.add_argument("--mpl", type=int, default=2)
+    sweep.set_defaults(func=_cmd_sweep)
 
     features = subparsers.add_parser("features", help="list feature names")
     features.set_defaults(func=_cmd_features)

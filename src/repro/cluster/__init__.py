@@ -40,6 +40,7 @@ from repro.cluster.scenario import (
     CLUSTER_SLAS,
     build_cluster,
     cluster_overload_scenario,
+    replicate_cluster_scenario,
     run_cluster_scenario,
 )
 
@@ -69,5 +70,6 @@ __all__ = [
     "cluster_overload_scenario",
     "make_policy",
     "predict_response_time",
+    "replicate_cluster_scenario",
     "run_cluster_scenario",
 ]

@@ -53,6 +53,12 @@ class ClusterDispatcher:
         cluster-reject), ``0`` = reject the moment all nodes saturate.
     control_period:
         Seconds between dispatcher ticks (cluster-queue retry cadence).
+    cache_eligible:
+        Keep the eligible-node list cached between placements,
+        invalidating only when a node's accepting bit flips (health
+        transition or ``max_outstanding`` edge crossing).  On by
+        default; disable to fall back to a full scan per placement
+        (the A/B knob the placement micro-bench uses).
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class ClusterDispatcher:
         slas: Optional[SLASet] = None,
         max_queue_depth: Optional[int] = None,
         control_period: float = 1.0,
+        cache_eligible: bool = True,
     ) -> None:
         if not nodes:
             raise ConfigurationError("a cluster needs at least one node")
@@ -85,6 +92,8 @@ class ClusterDispatcher:
         self.completions = 0
         self.rejections = 0
         self.resubmissions = 0
+        self._cache_eligible = cache_eligible
+        self._eligible_cache: Optional[List[ClusterNode]] = None
         for node in self.nodes:
             node.manager.add_completion_listener(
                 lambda query, n=node: self._on_node_exit(n, query)
@@ -94,6 +103,7 @@ class ClusterDispatcher:
                     n, query, decision
                 )
             )
+            node.on_accepting_change(self._on_accepting_change)
             self.metrics.record_health(sim.now, node)
         self._ticker = sim.schedule_periodic(
             control_period, self._tick, label="cluster:tick"
@@ -138,15 +148,37 @@ class ClusterDispatcher:
     # ------------------------------------------------------------------
     def eligible_nodes(self, query: Optional[Query] = None) -> List[ClusterNode]:
         """UP, unsaturated nodes (minus any that refused this query)."""
-        excluded = self._excluded.get(query.query_id, set()) if query else set()
-        return [
-            node
-            for node in self.nodes
-            if node.accepting and node.name not in excluded
-        ]
+        return list(self._eligible_for(query))
+
+    def _on_accepting_change(self, node: ClusterNode) -> None:
+        self._eligible_cache = None
+
+    def _eligible_for(self, query: Optional[Query]) -> List[ClusterNode]:
+        """The eligible set, cached between accepting-bit flips.
+
+        Returns the shared cache list when the query has no exclusions;
+        callers must treat it as read-only.  Nodes notify
+        :meth:`_on_accepting_change` whenever their accepting bit flips
+        (health transitions, ``max_outstanding`` edge crossings), so the
+        cached list is always equal to a fresh scan.
+        """
+        if not self._cache_eligible:
+            eligible = [node for node in self.nodes if node.accepting]
+        else:
+            eligible = self._eligible_cache
+            if eligible is None:
+                eligible = self._eligible_cache = [
+                    node for node in self.nodes if node.accepting
+                ]
+        excluded = (
+            self._excluded.get(query.query_id) if query is not None else None
+        )
+        if excluded:
+            return [node for node in eligible if node.name not in excluded]
+        return eligible
 
     def _route(self, query: Query) -> None:
-        candidates = self.eligible_nodes(query)
+        candidates = self._eligible_for(query)
         if candidates:
             node = self.placement.choose(query, candidates)
             if node is not None:
@@ -186,7 +218,7 @@ class ClusterDispatcher:
             if not self._queue:
                 return
             query = self._queue[0]
-            candidates = self.eligible_nodes(query)
+            candidates = self._eligible_for(query)
             if not candidates:
                 return
             node = self.placement.choose(query, candidates)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.interfaces import AdmissionController, Scheduler
 from repro.core.manager import FCFSDispatcher, WorkloadManager
@@ -135,6 +135,13 @@ class ClusterNode:
             # spares/down nodes do not tick or beat until activated
             self.manager.shutdown()
             self._heartbeat_proc.stop()
+        # Accepting-edge tracking: the manager pings on every backlog
+        # change; listeners (the dispatcher's eligible-node cache) are
+        # notified only when the accepting bit actually flips — i.e. on
+        # health transitions and max_outstanding edge crossings.
+        self._accepting_listeners: List[Callable[["ClusterNode"], None]] = []
+        self._accepting_last = self.accepting
+        self.manager.add_backlog_listener(self._recheck_accepting)
 
     # ------------------------------------------------------------------
     # capacity and load introspection (what placement policies read)
@@ -170,6 +177,22 @@ class ClusterNode:
             and self.outstanding_work < self.max_outstanding
         )
 
+    def on_accepting_change(
+        self, listener: Callable[["ClusterNode"], None]
+    ) -> None:
+        """Subscribe to flips of :attr:`accepting` (edge-triggered)."""
+        self._accepting_listeners.append(listener)
+
+    def _recheck_accepting(self) -> None:
+        current = (
+            self.health.accepts_placements
+            and self.manager.outstanding_work() < self.max_outstanding
+        )
+        if current != self._accepting_last:
+            self._accepting_last = current
+            for listener in self._accepting_listeners:
+                listener(self)
+
     # ------------------------------------------------------------------
     # placement-side intake
     # ------------------------------------------------------------------
@@ -201,17 +224,20 @@ class ClusterNode:
         self.health = NodeHealth.DOWN
         self.manager.shutdown()
         self._heartbeat_proc.stop()
+        self._recheck_accepting()
 
     def drain(self) -> None:
         """Stop taking placements; outstanding work runs to completion."""
         if self.health is NodeHealth.UP:
             self.health = NodeHealth.DRAINING
+            self._recheck_accepting()
 
     def park(self) -> None:
         """Park a finished (drained) node as a standby spare."""
         self.health = NodeHealth.STANDBY
         self.manager.shutdown()
         self._heartbeat_proc.stop()
+        self._recheck_accepting()
 
     def activate(self) -> None:
         """Bring a STANDBY / DRAINING / recovered node (back) into service."""
@@ -225,6 +251,7 @@ class ClusterNode:
                 self.publish_heartbeat,
                 label=f"heartbeat:{self.name}",
             )
+        self._recheck_accepting()
 
     def degrade(self, factor: float) -> None:
         """Slow the node to ``factor`` of full speed (fault injection)."""

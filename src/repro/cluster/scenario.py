@@ -13,7 +13,7 @@ deterministic code path.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.dispatcher import ClusterDispatcher
 from repro.cluster.failover import FaultInjector, FaultPlan
@@ -50,6 +50,7 @@ def build_cluster(
     slas: Optional[SLASet] = None,
     control_period: float = 1.0,
     heartbeat_period: float = 1.0,
+    cache_eligible: bool = True,
 ) -> ClusterDispatcher:
     """A homogeneous cluster of ``nodes`` active + ``standby`` spares."""
     slas = CLUSTER_SLAS if slas is None else slas
@@ -73,6 +74,7 @@ def build_cluster(
         slas=slas,
         max_queue_depth=max_queue_depth,
         control_period=control_period,
+        cache_eligible=cache_eligible,
     )
 
 
@@ -120,6 +122,7 @@ def run_cluster_scenario(
     max_queue_depth: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     sim: Optional[Simulator] = None,
+    cache_eligible: bool = True,
 ) -> ClusterDispatcher:
     """Run the canonical cluster demo end to end; returns the dispatcher.
 
@@ -128,7 +131,12 @@ def run_cluster_scenario(
     """
     sim = sim or Simulator(seed=seed)
     dispatcher = build_cluster(
-        sim, nodes=nodes, policy=policy, mpl=mpl, max_queue_depth=max_queue_depth
+        sim,
+        nodes=nodes,
+        policy=policy,
+        mpl=mpl,
+        max_queue_depth=max_queue_depth,
+        cache_eligible=cache_eligible,
     )
     scenario = cluster_overload_scenario(
         horizon=horizon, oltp_rate=oltp_rate, bi_rate=bi_rate
@@ -144,3 +152,27 @@ def run_cluster_scenario(
         dispatcher.injector = injector
     dispatcher.run(horizon, drain=horizon if drain is None else drain)
     return dispatcher
+
+
+def replicate_cluster_scenario(
+    seeds: Sequence[int],
+    workers: int = 1,
+    **scenario_params,
+) -> List[Dict[str, object]]:
+    """Seed replications of the canonical cluster scenario, in parallel.
+
+    Each seed is an independent shared-nothing simulation, so the runs
+    fan out over :func:`repro.parallel.run_tasks`; summaries come back
+    in seed order (task-key ordered reduction) with per-run digests, so
+    the returned list is identical for any ``workers`` count.
+    ``scenario_params`` are forwarded to the ``cluster`` task runner
+    (``nodes``, ``policy``, ``horizon``, ``mpl``, …).
+    """
+    from repro.parallel import make_task, run_tasks
+
+    tasks = [
+        make_task("cluster", seed=int(seed), **scenario_params)
+        for seed in seeds
+    ]
+    result = run_tasks(tasks, workers=workers)
+    return result.values

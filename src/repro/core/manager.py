@@ -186,6 +186,7 @@ class WorkloadManager:
         self._workloads: Dict[str, WorkloadInfo] = {}
         self._delayed: List[Query] = []
         self._listeners: List[CompletionListener] = []
+        self._backlog_listeners: List[Callable[[], None]] = []
         self._rejection_interceptor: Optional[RejectionInterceptor] = None
         self._pumping = False
         self.submitted_count = 0
@@ -220,6 +221,21 @@ class WorkloadManager:
     def add_completion_listener(self, listener: CompletionListener) -> None:
         """Called for every client-visible terminal outcome."""
         self._listeners.append(listener)
+
+    def add_backlog_listener(self, listener: Callable[[], None]) -> None:
+        """Called whenever :meth:`outstanding_work` may have changed.
+
+        Every change to the backlog (queued + running) funnels through
+        request intake, engine exits, delayed-admission retries or queue
+        evacuation, so those four paths fire the listeners.  A cluster
+        dispatcher uses this to notice saturation edge crossings without
+        re-scanning node state on every placement.
+        """
+        self._backlog_listeners.append(listener)
+
+    def _backlog_changed(self) -> None:
+        for listener in self._backlog_listeners:
+            listener()
 
     def set_rejection_interceptor(
         self, interceptor: Optional[RejectionInterceptor]
@@ -276,9 +292,15 @@ class WorkloadManager:
         elif decision.outcome is AdmissionOutcome.DELAY:
             query.transition(QueryState.QUEUED)
             self._delayed.append(query)
+            if self._backlog_listeners:
+                self._backlog_changed()
         else:
             query.transition(QueryState.QUEUED)
             self.scheduler.enqueue(query, self.context)
+            # listeners see the grown backlog before pump, whose
+            # callbacks (synchronous completions) may read it
+            if self._backlog_listeners:
+                self._backlog_changed()
             self.pump()
         return decision
 
@@ -311,14 +333,22 @@ class WorkloadManager:
         if not self._delayed:
             return
         pending, self._delayed = self._delayed, []
+        # the held queries just left the backlog; re-entries below ping
+        # again, so listeners never observe a state they weren't told of
+        if self._backlog_listeners:
+            self._backlog_changed()
         for query in pending:
             decision = self.admission.decide(query, self.context)
             if decision.outcome is AdmissionOutcome.REJECT:
                 self._reject(query, decision)
             elif decision.outcome is AdmissionOutcome.DELAY:
                 self._delayed.append(query)
+                if self._backlog_listeners:
+                    self._backlog_changed()
             else:
                 self.scheduler.enqueue(query, self.context)
+                if self._backlog_listeners:
+                    self._backlog_changed()
                 # Dispatch immediately so the next decision in this
                 # sweep sees the updated running count — otherwise an
                 # MPL gate would admit the whole backlog at once.
@@ -329,6 +359,11 @@ class WorkloadManager:
     # engine feedback
     # ------------------------------------------------------------------
     def _on_engine_exit(self, query: Query, outcome: CompletionOutcome) -> None:
+        # The engine already removed the query from the running set:
+        # backlog listeners must observe that before the completion
+        # listeners below can act on (and read through) this manager.
+        if self._backlog_listeners:
+            self._backlog_changed()
         if outcome is CompletionOutcome.COMPLETED:
             self.metrics.record_completion(query, self.sim.now)
             self.query_log.record_query(query)
@@ -351,6 +386,8 @@ class WorkloadManager:
         # when an MPL/indicator gate may reopen.
         self._retry_delayed()
         self.pump()
+        if self._backlog_listeners:
+            self._backlog_changed()
 
     def _notify(self, query: Query) -> None:
         for listener in list(self._listeners):
@@ -406,6 +443,8 @@ class WorkloadManager:
                     evacuated.append(removed)
         evacuated.extend(self._delayed)
         self._delayed.clear()
+        if self._backlog_listeners:
+            self._backlog_changed()
         return evacuated
 
     def shutdown(self) -> None:

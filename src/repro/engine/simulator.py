@@ -51,10 +51,20 @@ class _EventHandle:
 
     event: Event
     cancelled: bool = False
+    #: Owning simulator; lets ``cancel`` keep the live-event counter
+    #: behind :meth:`Simulator.pending_events` exact without a scan.
+    sim: Optional["Simulator"] = None
+    #: True once the event has been dequeued (fired or skipped), so a
+    #: late ``cancel`` on an already-fired event cannot drift the count.
+    done: bool = False
 
     def cancel(self) -> None:
         """Prevent the event's action from running when it is dequeued."""
+        if self.cancelled or self.done:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._live_events -= 1
 
     @property
     def time(self) -> float:
@@ -81,6 +91,7 @@ class Simulator:
         self._rngs: Dict[str, np.random.Generator] = {}
         self._running = False
         self._events_fired = 0
+        self._live_events = 0
 
     # ------------------------------------------------------------------
     # time
@@ -126,8 +137,9 @@ class Simulator:
                 f"cannot schedule event at {time:.6f} in the past (now={self._now:.6f})"
             )
         event = Event(time=max(time, self._now), seq=next(self._seq), action=action, label=label)
-        handle = _EventHandle(event=event)
+        handle = _EventHandle(event=event, sim=self)
         heapq.heappush(self._queue, (event, handle))
+        self._live_events += 1
         return handle
 
     def schedule(
@@ -166,7 +178,10 @@ class Simulator:
         while self._queue:
             event, handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                handle.done = True
                 continue
+            handle.done = True
+            self._live_events -= 1
             self._now = event.time
             self._events_fired += 1
             event.action()
@@ -182,7 +197,10 @@ class Simulator:
                 break
             heapq.heappop(self._queue)
             if handle.cancelled:
+                handle.done = True
                 continue
+            handle.done = True
+            self._live_events -= 1
             self._now = event.time
             self._events_fired += 1
             event.action()
@@ -205,8 +223,13 @@ class Simulator:
                 )
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for _, handle in self._queue if not handle.cancelled)
+        """Number of not-yet-cancelled events in the queue.
+
+        O(1): a live counter maintained on push, fire and cancel, so
+        decision paths (elastic provisioning, dispatch) can poll it
+        freely without scanning the heap.
+        """
+        return self._live_events
 
     # ------------------------------------------------------------------
     # scoping (multi-instance simulations)
@@ -232,18 +255,46 @@ class ScopedSimulator:
     components built against the ``Simulator`` interface (engines,
     managers, generators) run unmodified on a scoped view while their
     randomness stays isolated per scope.
+
+    Hot delegated methods (``schedule``, ``schedule_at``, …) are bound
+    as instance attributes at construction: cluster engines call them
+    on every event, and routing each call through ``__getattr__`` costs
+    a failed instance/class lookup plus a ``getattr`` per call.
+    ``__getattr__`` remains as the fallback for everything else.
     """
+
+    #: Base-simulator methods bound directly onto every scoped view.
+    _BOUND_METHODS = (
+        "schedule",
+        "schedule_at",
+        "schedule_periodic",
+        "step",
+        "run_until",
+        "run",
+        "pending_events",
+    )
 
     def __init__(self, base: Simulator, scope: str) -> None:
         if not scope:
             raise SimulationError("scope must be a non-empty string")
         self._base = base
         self.scope = scope
+        for name in self._BOUND_METHODS:
+            setattr(self, name, getattr(base, name))
 
     @property
     def base(self) -> Simulator:
         """The underlying shared simulator."""
         return self._base
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (shared clock)."""
+        return self._base._now
+
+    @property
+    def events_fired(self) -> int:
+        return self._base._events_fired
 
     def rng(self, stream: str) -> np.random.Generator:
         return self._base.rng(f"{self.scope}/{stream}")

@@ -40,3 +40,7 @@ class ClassificationError(DbwmError):
 
 class CapacityError(DbwmError):
     """A resource pool was asked for more capacity than exists."""
+
+
+class ParallelExecutionError(DbwmError):
+    """A sweep task failed (or timed out) beyond its retry budget."""

@@ -1,0 +1,158 @@
+"""Task runners: how a worker turns a :class:`RunTask` into a result.
+
+A runner is resolved from the task's ``runner`` string either through
+the registry (:func:`register_task` names, e.g. ``"cluster"``) or as a
+``module:function`` dotted path imported in the worker process.  Either
+way the runner is a plain function ``fn(seed=..., **params) -> dict``
+that rebuilds its simulator from scratch — workers share nothing with
+the parent but the task descriptor.
+
+Result dicts should be small, picklable and carry a ``digest`` key so
+the sweep-level reduction can verify determinism (see
+:mod:`repro.parallel.digest`).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.parallel.spec import RunTask
+
+TaskRunner = Callable[..., Dict[str, object]]
+
+TASK_REGISTRY: Dict[str, TaskRunner] = {}
+
+
+def register_task(name: str) -> Callable[[TaskRunner], TaskRunner]:
+    """Register ``fn`` under a short runner name usable in RunTasks."""
+
+    def decorator(fn: TaskRunner) -> TaskRunner:
+        TASK_REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def resolve_runner(runner: str) -> TaskRunner:
+    """Registry name or ``module:function`` dotted path → callable."""
+    fn = TASK_REGISTRY.get(runner)
+    if fn is not None:
+        return fn
+    if ":" not in runner:
+        raise ConfigurationError(
+            f"unknown task runner {runner!r}: not registered and not a "
+            "'module:function' path"
+        )
+    module_name, _, attr = runner.partition(":")
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attr, None)
+    if fn is None:
+        raise ConfigurationError(f"{module_name!r} has no attribute {attr!r}")
+    return fn
+
+
+def runner_module(runner: str) -> str:
+    """The module a worker must import to execute ``runner`` (warm-up)."""
+    if runner in TASK_REGISTRY:
+        return TASK_REGISTRY[runner].__module__
+    return runner.partition(":")[0]
+
+
+def execute_task(task: RunTask) -> Dict[str, object]:
+    """Run one task in this process; the worker-side entry point.
+
+    The same function executes tasks in serial fallback mode, so the
+    parallel and serial paths are one code path by construction.
+    """
+    fn = resolve_runner(task.runner)
+    start = time.perf_counter()
+    value = fn(seed=task.seed, **task.kwargs)
+    if not isinstance(value, dict):
+        raise TypeError(
+            f"task runner {task.runner!r} returned {type(value).__name__}, "
+            "expected a result dict"
+        )
+    value = dict(value)
+    value.setdefault("task_key", task.key)
+    value["task_wall_s"] = round(time.perf_counter() - start, 3)
+    return value
+
+
+# ----------------------------------------------------------------------
+# built-in runners
+# ----------------------------------------------------------------------
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[index]
+
+
+@register_task("cluster")
+def run_cluster_task(
+    seed: int = 42,
+    nodes: int = 4,
+    policy: str = "cost",
+    horizon: float = 60.0,
+    drain: Optional[float] = None,
+    oltp_rate: float = 30.0,
+    bi_rate: float = 0.3,
+    mpl: int = 2,
+    max_queue_depth: Optional[int] = None,
+) -> Dict[str, object]:
+    """One seeded cluster run (the EXP18 scenario), summarized.
+
+    Returns conservation counters, cluster-wide per-workload response
+    aggregates and the run's :func:`dispatcher digest
+    <repro.parallel.digest.dispatcher_digest>` — everything the sweep
+    rollup and the determinism check need, nothing that can't pickle.
+    """
+    from repro.cluster.scenario import run_cluster_scenario
+    from repro.parallel.digest import dispatcher_digest
+
+    dispatcher = run_cluster_scenario(
+        seed=seed,
+        nodes=nodes,
+        policy=policy,
+        horizon=horizon,
+        drain=drain,
+        oltp_rate=oltp_rate,
+        bi_rate=bi_rate,
+        mpl=mpl,
+        max_queue_depth=max_queue_depth,
+    )
+    # Aggregate each workload's response times across all nodes; the
+    # multiset is order-independent, so sorting makes the reduction
+    # deterministic regardless of node iteration details.
+    by_workload: Dict[str, List[float]] = {}
+    for node in dispatcher.nodes:
+        metrics = node.manager.metrics
+        for workload in metrics.workloads():
+            series = metrics.stats_for(workload).response_times
+            if series:
+                by_workload.setdefault(workload, []).extend(series)
+    response: Dict[str, Dict[str, Optional[float]]] = {}
+    for workload in sorted(by_workload):
+        ordered = sorted(by_workload[workload])
+        response[workload] = {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "p95": _percentile(ordered, 95.0),
+        }
+    return {
+        "seed": seed,
+        "policy": policy,
+        "nodes": nodes,
+        "arrivals": dispatcher.arrivals,
+        "completed": dispatcher.completions,
+        "rejected": dispatcher.rejections,
+        "resubmitted": dispatcher.resubmissions,
+        "sim_time": dispatcher.sim.now,
+        "events": dispatcher.sim.events_fired,
+        "response": response,
+        "digest": dispatcher_digest(dispatcher),
+    }

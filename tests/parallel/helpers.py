@@ -1,0 +1,51 @@
+"""Picklable task runners for the repro.parallel tests.
+
+These live in an importable module (``tests.parallel.helpers``) because
+worker processes resolve runners by ``module:function`` path — a lambda
+or a test-local closure cannot cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Dict
+
+
+def quick_task(seed: int = 0, **params: object) -> Dict[str, object]:
+    """Instant deterministic result: digest of (seed, sorted params)."""
+    payload = repr((int(seed), sorted(params.items())))
+    return {
+        "seed": seed,
+        "params": dict(params),
+        "digest": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+    }
+
+
+def flaky_task(seed: int = 0, marker: str = "") -> Dict[str, object]:
+    """Fail until ``marker`` exists on disk, then succeed.
+
+    File-based state is the only kind that survives the process
+    boundary, so the first attempt (in any process) plants the marker
+    and raises; every later attempt sees it and completes.
+    """
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted\n")
+        raise RuntimeError("transient failure (first attempt)")
+    return quick_task(seed=seed, marker=marker)
+
+
+def always_fail(seed: int = 0) -> Dict[str, object]:
+    raise ValueError(f"broken runner (seed {seed})")
+
+
+def slow_task(seed: int = 0, duration: float = 0.5) -> Dict[str, object]:
+    """Sleep ``duration`` wall seconds, then return a quick result."""
+    time.sleep(float(duration))
+    return quick_task(seed=seed, duration=duration)
+
+
+def not_a_dict(seed: int = 0) -> int:
+    return int(seed)

@@ -1,0 +1,81 @@
+"""The determinism contract: parallel == serial, bit for bit.
+
+The hypothesis property drives randomly-shaped sweep specs through the
+runner at 1, 2 and 4 workers and requires identical ordered digests —
+worker count and completion order must be unobservable in the reduced
+output.  The cluster test does the same with the real scenario runner
+and the user-facing rollup table.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    SweepSpec,
+    make_task,
+    rollup_table,
+    run_policy_sweep,
+    run_tasks,
+)
+
+QUICK = "tests.parallel.helpers:quick_task"
+
+small_grids = st.dictionaries(
+    keys=st.sampled_from(["alpha", "beta", "gamma"]),
+    values=st.lists(
+        st.integers(min_value=0, max_value=99), min_size=1, max_size=3, unique=True
+    ),
+    max_size=2,
+)
+seed_lists = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=3, unique=True
+)
+
+
+@given(grid=small_grids, seeds=seed_lists)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_parallel_digests_equal_serial_for_any_sweep(grid, seeds):
+    tasks = SweepSpec(runner=QUICK, grid=grid, seeds=tuple(seeds)).tasks()
+    serial = run_tasks(tasks, workers=1)
+    two = run_tasks(tasks, workers=2)
+    four = run_tasks(tasks, workers=4)
+    assert serial.digest == two.digest == four.digest
+    assert (
+        [o.task.key for o in serial.outcomes]
+        == [o.task.key for o in two.outcomes]
+        == [o.task.key for o in four.outcomes]
+    )
+
+
+def test_chunk_size_does_not_change_the_digest():
+    tasks = [make_task(QUICK, seed=s, level=s % 3) for s in range(9)]
+    digests = {
+        run_tasks(tasks, workers=2, chunk_size=size).digest
+        for size in (1, 2, 5, 100)
+    }
+    assert len(digests) == 1
+
+
+def test_cluster_sweep_rollup_is_worker_count_independent():
+    kwargs = dict(
+        policies=["round-robin", "least"],
+        seeds=(42, 43),
+        nodes=3,
+        horizon=8.0,
+        mpl=2,
+    )
+    serial = run_policy_sweep(workers=1, **kwargs)
+    parallel = run_policy_sweep(workers=2, **kwargs)
+    assert serial.digest == parallel.digest
+    assert rollup_table(serial) == rollup_table(parallel)
+    # per-run payloads (minus wall timings) are identical too
+    for a, b in zip(serial.values, parallel.values):
+        sa = {k: v for k, v in a.items() if k != "task_wall_s"}
+        sb = {k: v for k, v in b.items() if k != "task_wall_s"}
+        assert sa == sb

@@ -1,0 +1,141 @@
+"""run_tasks: serial fallback, shard retry, timeouts, stragglers, strict."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.parallel import default_chunk_size, make_task, run_tasks
+
+QUICK = "tests.parallel.helpers:quick_task"
+FLAKY = "tests.parallel.helpers:flaky_task"
+FAIL = "tests.parallel.helpers:always_fail"
+SLOW = "tests.parallel.helpers:slow_task"
+BAD_TYPE = "tests.parallel.helpers:not_a_dict"
+
+
+def quick_tasks(n):
+    return [make_task(QUICK, seed=i, x=i * 10) for i in range(n)]
+
+
+class TestSerialPath:
+    def test_single_worker_runs_in_process(self):
+        result = run_tasks(quick_tasks(4), workers=1)
+        assert result.workers == 1
+        assert not result.fell_back_serial  # serial by request, not fallback
+        assert [o.task.seed for o in result.outcomes] == [0, 1, 2, 3]
+        assert all(o.ok and o.attempts == 1 for o in result.outcomes)
+
+    def test_single_task_stays_in_process_even_with_workers(self):
+        result = run_tasks(quick_tasks(1), workers=4)
+        assert result.outcomes[0].ok
+
+    def test_duplicate_keys_rejected(self):
+        tasks = [make_task(QUICK, seed=1), make_task(QUICK, seed=1)]
+        with pytest.raises(ConfigurationError, match="duplicate task keys"):
+            run_tasks(tasks, workers=1)
+
+    def test_strict_failure_raises_after_retries(self):
+        tasks = [make_task(FAIL, seed=5)] + quick_tasks(1)
+        with pytest.raises(ParallelExecutionError, match="broken runner"):
+            run_tasks(tasks, workers=1, max_retries=2)
+
+    def test_non_strict_records_failure_and_keeps_order(self):
+        tasks = quick_tasks(2) + [make_task(FAIL, seed=9)]
+        result = run_tasks(tasks, workers=1, max_retries=1, strict=False)
+        assert len(result.failures) == 1
+        failed = result.failures[0]
+        assert failed.attempts == 2  # initial + 1 retry
+        assert "ValueError" in failed.error
+        assert len(result.values) == 2
+        # the digest still covers the failed slot (as a placeholder)
+        assert result.digest == run_tasks(
+            tasks, workers=1, max_retries=1, strict=False
+        ).digest
+
+    def test_runner_must_return_dict(self):
+        with pytest.raises(ParallelExecutionError, match="expected a result"):
+            run_tasks(
+                [make_task(BAD_TYPE, seed=1), make_task(BAD_TYPE, seed=2)],
+                workers=1,
+                max_retries=0,
+            )
+
+
+class TestPoolPath:
+    def test_parallel_matches_serial_values_and_digest(self):
+        tasks = quick_tasks(8)
+        serial = run_tasks(tasks, workers=1)
+        parallel = run_tasks(tasks, workers=2)
+        assert parallel.digest == serial.digest
+        stripped = [
+            {k: v for k, v in value.items() if k != "task_wall_s"}
+            for value in parallel.values
+        ]
+        assert stripped == [
+            {k: v for k, v in value.items() if k != "task_wall_s"}
+            for value in serial.values
+        ]
+
+    def test_unsupported_start_method_falls_back_serially(self):
+        result = run_tasks(quick_tasks(3), workers=2, mp_context="no-such")
+        assert result.fell_back_serial
+        assert all(o.ok for o in result.outcomes)
+
+    def test_failed_shard_retried_to_success(self, tmp_path):
+        marker = str(tmp_path / "flaky.marker")
+        tasks = [make_task(FLAKY, seed=1, marker=marker)] + quick_tasks(3)
+        log: list = []
+        result = run_tasks(
+            tasks, workers=2, max_retries=2, chunk_size=2, log=log.append
+        )
+        flaky = result.outcomes[0]
+        assert flaky.ok
+        assert flaky.attempts >= 2
+        assert result.retried_shards >= 1
+        assert any("failed" in line for line in log)
+
+    def test_persistent_failure_exhausts_retries(self):
+        tasks = [make_task(FAIL, seed=1)] + quick_tasks(2)
+        result = run_tasks(tasks, workers=2, max_retries=1, strict=False)
+        assert len(result.failures) == 1
+        assert result.failures[0].attempts == 2
+
+    def test_timeout_marks_task_and_logs(self):
+        # Two slow singleton shards with a tight budget: both expire.
+        tasks = [
+            make_task(SLOW, seed=i, timeout=0.2, duration=1.5) for i in range(2)
+        ]
+        log: list = []
+        result = run_tasks(
+            tasks,
+            workers=2,
+            max_retries=0,
+            chunk_size=1,
+            strict=False,
+            log=log.append,
+        )
+        assert len(result.failures) == 2
+        assert all("timeout" in o.error for o in result.failures)
+        assert any("timed out" in line for line in log)
+
+    def test_straggler_logged_but_completes(self):
+        tasks = [make_task(SLOW, seed=i, duration=0.6) for i in range(2)]
+        log: list = []
+        result = run_tasks(
+            tasks,
+            workers=2,
+            chunk_size=1,
+            straggler_after=0.1,
+            log=log.append,
+        )
+        assert all(o.ok for o in result.outcomes)
+        assert result.stragglers  # slow shards were flagged...
+        assert any("straggler" in line for line in log)
+        assert not result.failures  # ...but not failed
+
+
+def test_default_chunk_size_balances_load():
+    assert default_chunk_size(64, 4) == 4
+    assert default_chunk_size(3, 8) == 1  # never zero
+    assert default_chunk_size(0, 2) == 1
