@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline artifacts lint
+.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline bench-million bench-million-full profile equivalence artifacts lint
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -34,6 +34,28 @@ bench-parallel:
 # Placement-path micro-bench: eligible-node caching win at 16+ nodes.
 bench-placement:
 	$(PY) -m benchmarks.perf.micro_placement
+
+# CI-sized slice of the million-query macro-scenario: digest + wall
+# gates against the committed million_query section of BENCH_core.json;
+# writes the run's JSON for the CI bench artifact.
+bench-million:
+	$(PY) -m benchmarks.perf.million --mode ci --json-out bench-million.json
+
+# The headline >= 1M submitted-query run (digest-gated, sharded over 8
+# worker processes; digests are identical to a serial run).
+bench-million-full:
+	$(PY) -m benchmarks.perf.million --mode full --workers 8
+
+# One-command hotspot profile: cProfile over a shortened high_mpl,
+# top-25 cumulative functions (the kill-list workflow).
+profile:
+	$(PY) -m benchmarks.perf.profile
+
+# Old-vs-new engine equivalence: run every macro-scenario in compat
+# mode (scalar fill, no batch hooks) and default mode, compare outcome
+# counters and digests (the committed re-baseline evidence).
+equivalence:
+	$(PY) -m benchmarks.perf.equivalence
 
 # Re-record the committed baseline after an intentional perf change.
 bench-baseline:

@@ -56,13 +56,23 @@ def drive(
     manager: WorkloadManager,
     scenario: Scenario,
     drain: Optional[float] = None,
+    max_events: Optional[int] = None,
 ) -> WorkloadGenerator:
-    """Run a scenario to completion on a manager."""
+    """Run a scenario to completion on a manager.
+
+    ``max_events`` is an explicit event budget: exceeding it raises
+    :class:`repro.errors.SimulationBudgetExceeded` instead of silently
+    truncating the run (large scenarios must size their budget).
+    """
     generator = scenario.build(
         manager.sim, manager.submit, sessions=manager.sessions
     )
     manager.add_completion_listener(generator.notify_done)
-    manager.run(scenario.horizon, drain=scenario.horizon if drain is None else drain)
+    manager.run(
+        scenario.horizon,
+        drain=scenario.horizon if drain is None else drain,
+        max_events=max_events,
+    )
     return generator
 
 

@@ -1,0 +1,138 @@
+"""Old-vs-new engine equivalence: ``python -m benchmarks.perf.equivalence``.
+
+The columnar engine keeps the pre-columnar scalar semantics behind two
+config knobs (``vectorized_fill``, ``batch_dispatch``); *compat mode*
+(:func:`repro.engine.executor.compat_mode`) turns both off and is
+bit-for-bit equivalent to the pre-columnar engine — it reproduces the
+digests committed before the rework.
+
+This runner executes every macro-scenario twice, compat then default,
+and compares:
+
+* outcome **counters** (submitted / completed / events / sim_time) —
+  these must be *exactly* equal: the vectorized fill changes float
+  accumulation order, not behaviour;
+* outcome **digests** — equal where the scenario never enters the
+  vectorized fill, different where it does (the difference is the
+  documented reason for the committed digest re-baseline).
+
+The result is written to ``EQUIVALENCE.json`` next to the baseline —
+the committed before/after evidence required when digests are
+re-baselined (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from benchmarks.perf.harness import SCENARIO_SEEDS, load_baseline
+from repro.engine.executor import compat_mode
+
+EQUIVALENCE_PATH = Path(__file__).resolve().parent / "EQUIVALENCE.json"
+
+#: counters that must be exactly equal between compat and default runs
+_EXACT_COUNTERS = ("submitted", "completed", "events", "sim_time")
+
+
+def run_equivalence(
+    mode: str = "quick", million_scale: Optional[float] = None, log=print
+) -> Dict[str, Dict[str, object]]:
+    """Run every macro-scenario in compat and default mode; compare."""
+    from benchmarks.perf.million import MILLION_CI_SCALE
+    from benchmarks.perf.scenarios import (
+        SCENARIOS,
+        quick_scale_for,
+        run_million_query,
+    )
+
+    scale = quick_scale_for(mode)
+    if million_scale is None:
+        million_scale = MILLION_CI_SCALE if mode == "quick" else 1.0
+    runs = dict(SCENARIOS)
+    runs["million_query"] = lambda scale: run_million_query(
+        scale=million_scale, seed=SCENARIO_SEEDS["million_query"]
+    )
+
+    report: Dict[str, Dict[str, object]] = {}
+    for name, fn in runs.items():
+        with compat_mode():
+            old = fn(scale=scale)
+        new = fn(scale=scale)
+        counters_equal = all(
+            old[counter] == new[counter] for counter in _EXACT_COUNTERS
+        )
+        entry = {
+            "counters_equal": counters_equal,
+            "digest_equal": old["digest"] == new["digest"],
+            "compat_digest": old["digest"],
+            "default_digest": new["digest"],
+        }
+        for counter in _EXACT_COUNTERS:
+            entry[counter] = old[counter]
+            if old[counter] != new[counter]:
+                entry[f"{counter}_default"] = new[counter]
+        report[name] = entry
+        if log is not None:
+            log(
+                f"  {name:>14}: counters "
+                f"{'EQUAL' if counters_equal else 'DIFFER'}, digest "
+                f"{'unchanged' if entry['digest_equal'] else 'changed (float sum order)'}"
+            )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.equivalence",
+        description="Compare compat-mode (pre-columnar semantics) and "
+        "default-mode runs of every macro-scenario.",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("quick", "full"),
+        default="quick",
+        help="scenario sizes to compare at (default quick)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help=f"write the report to {EQUIVALENCE_PATH.name} (the committed "
+        "re-baseline evidence)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"engine equivalence ({args.mode} mode): compat vs default")
+    report = run_equivalence(mode=args.mode)
+
+    ok = all(entry["counters_equal"] for entry in report.values())
+    # Compat runs must still reproduce the digests committed before the
+    # columnar rework (pinned in the baseline's compat section).
+    baseline = load_baseline() or {}
+    compat = baseline.get("compat_digests", {}).get(args.mode, {})
+    for name, digest in compat.items():
+        entry = report.get(name)
+        if entry is not None and entry["compat_digest"] != digest:
+            ok = False
+            print(
+                f"COMPAT BREAK: {name} compat digest "
+                f"{str(entry['compat_digest'])[:16]}… != pre-columnar "
+                f"{str(digest)[:16]}…"
+            )
+
+    if args.write:
+        payload = {"mode": args.mode, "scenarios": report}
+        with open(EQUIVALENCE_PATH, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {EQUIVALENCE_PATH}")
+
+    print("equivalence: OK" if ok else "equivalence: FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ SCENARIO_SEEDS = {
     "mixed_pipeline": 11,
     "sla_polling": 13,
     "cluster": 19,
+    "million_query": 23,
 }
 
 

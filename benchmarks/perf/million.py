@@ -1,0 +1,226 @@
+"""The million-query macro-bench: ``python -m benchmarks.perf.million``.
+
+Runs the ``million_query`` scenario (8 independently seeded closed-loop
+server shards; >= 1,000,000 submitted queries at full scale) and gates
+the reduced outcome digest against the committed ``million_query``
+section of ``BENCH_core.json``.
+
+Two sizes are committed:
+
+* ``ci`` — a CI-sized slice (``MILLION_CI_SCALE``) small enough for the
+  workflow's bench job; digest-gated plus a wall-clock regression gate.
+* ``full`` — the headline >= 1M submitted run; digest-gated (wall is
+  recorded, not gated, since full runs usually go through ``--workers``
+  where per-shard walls depend on worker contention).
+
+Exit status is non-zero when a gate fails, so ``make bench-million``
+doubles as a CI check.  ``--json-out`` writes the run's results as JSON
+for the workflow's bench artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    REGRESSION_FACTOR,
+    SCENARIO_SEEDS,
+    load_baseline,
+)
+from repro.parallel.runner import run_tasks
+from repro.parallel.spec import RunTask, make_task
+
+#: scale of the CI slice (full scale = 1.0 -> >= 1M submitted)
+MILLION_CI_SCALE = 0.04
+
+
+def million_shard_plan(scale: float) -> List[RunTask]:
+    """The scenario's shards as parallel-runner tasks, in reduce order."""
+    from benchmarks.perf.scenarios import MILLION_SHARD_COUNT
+
+    seed = SCENARIO_SEEDS["million_query"]
+    return [
+        make_task(
+            "benchmarks.perf.scenarios:run_million_query_shard",
+            seed=seed,
+            scale=scale,
+            shard=shard,
+        )
+        for shard in range(MILLION_SHARD_COUNT)
+    ]
+
+
+def run_million(
+    scale: float,
+    workers: int = 1,
+    log: Optional[Callable[[str], None]] = print,
+) -> Dict[str, object]:
+    """Run the scenario serially or sharded over worker processes.
+
+    Both paths reduce shard results in shard order, so their digests are
+    identical (the parallel == serial determinism contract).
+    """
+    from benchmarks.perf.scenarios import (
+        MILLION_SUBMITTED_FLOOR,
+        reduce_shards,
+        run_million_query,
+    )
+
+    seed = SCENARIO_SEEDS["million_query"]
+    start = time.perf_counter()
+    if workers > 1:
+        plan = million_shard_plan(scale)
+        sweep = run_tasks(plan, workers=workers, log=log)
+        by_key = {o.task.key: o.value for o in sweep.outcomes}
+        missing = [t.key for t in plan if not by_key.get(t.key)]
+        if missing:
+            raise RuntimeError(f"million_query shards failed: {missing}")
+        result = reduce_shards([by_key[t.key] for t in plan])
+        floor = int(MILLION_SUBMITTED_FLOOR * min(scale, 1.0))
+        if int(result["submitted"]) < floor:
+            raise RuntimeError(
+                f"million_query submitted {result['submitted']} queries, "
+                f"expected >= {floor} at scale {scale}"
+            )
+        result["workers"] = workers
+    else:
+        result = run_million_query(scale=scale, seed=seed)
+        result["workers"] = 1
+    result["wall_s"] = round(time.perf_counter() - start, 3)
+    result["scale"] = scale
+    if log is not None:
+        log(
+            f"  million_query: {result['wall_s']:8.3f}s wall "
+            f"({result['workers']} worker{'s' if result['workers'] > 1 else ''}), "
+            f"{result['submitted']:>8} submitted, "
+            f"{result['completed']:>8} completed, "
+            f"{result['events']:>9} events, "
+            f"digest {str(result['digest'])[:12]}…"
+        )
+    return result
+
+
+def check_million(
+    result: Dict[str, object],
+    baseline: Optional[Dict],
+    section: str,
+    gate_wall: bool,
+    log: Optional[Callable[[str], None]] = print,
+) -> bool:
+    """Gate a run against the committed ``million_query`` section."""
+    committed = (baseline or {}).get("million_query", {}).get(section)
+    if committed is None:
+        if log:
+            log(
+                f"no committed million_query/{section} baseline at "
+                f"{BASELINE_PATH}; run with --update-baseline"
+            )
+        return True
+    ok = True
+    if committed.get("digest") != result["digest"]:
+        ok = False
+        if log:
+            log(
+                f"DETERMINISM BREAK: million_query digest "
+                f"{str(result['digest'])[:16]}… != committed "
+                f"{str(committed['digest'])[:16]}…"
+            )
+    for counter in ("submitted", "completed", "events"):
+        if int(committed.get(counter, -1)) != int(result[counter]):
+            ok = False
+            if log:
+                log(
+                    f"COUNT MISMATCH: million_query {counter} "
+                    f"{result[counter]} != committed {committed.get(counter)}"
+                )
+    base_wall = float(committed.get("wall_s", 0.0))
+    wall = float(result["wall_s"])
+    if gate_wall and base_wall > 0 and wall > REGRESSION_FACTOR * base_wall:
+        ok = False
+        if log:
+            log(
+                f"PERF REGRESSION: million_query took {wall:.3f}s vs "
+                f"committed {base_wall:.3f}s (>{REGRESSION_FACTOR:.1f}x)"
+            )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.million",
+        description="Run the million-query macro-scenario and gate its "
+        "digest against the committed BENCH_core.json baseline.",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("ci", "full"),
+        default="ci",
+        help="ci: the CI-sized slice with digest + wall gates (default); "
+        "full: the >= 1M submitted macro-run, digest-gated only",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="spread the scenario's shards over N worker processes "
+        "(digests are identical to a serial run)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the million_query section of BENCH_core.json with "
+        "this run instead of gating against it",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report without failing on digest/wall mismatches",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=str,
+        default=None,
+        help="also write this run's result dict as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = MILLION_CI_SCALE if args.mode == "ci" else 1.0
+    print(f"million_query ({args.mode} mode, scale {scale}):")
+    result = run_million(scale, workers=args.workers)
+
+    if args.json_out:
+        payload = {"mode": args.mode, "result": result}
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+
+    baseline = load_baseline()
+    if args.update_baseline:
+        baseline = baseline or {}
+        section = baseline.setdefault("million_query", {})
+        section[args.mode] = result
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline million_query/{args.mode} updated: {BASELINE_PATH}")
+        return 0
+
+    if args.no_gate:
+        return 0
+    # Wall-clock is only gated for serial CI runs: with workers the
+    # per-shard walls depend on contention, and full runs are sized for
+    # throughput headlines, not CI stability.
+    gate_wall = args.mode == "ci" and args.workers == 1
+    ok = check_million(result, baseline, args.mode, gate_wall=gate_wall)
+    print("gate: OK" if ok else "gate: FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -284,6 +284,89 @@ def run_cluster(scale: float = 1.0, seed: int = 19) -> Dict[str, object]:
     }
 
 
+# ----------------------------------------------------------------------
+# million_query: the 1M+ submitted-query macro-scenario
+# ----------------------------------------------------------------------
+
+#: shard axis of the million-query scenario; each shard is an
+#: independent seeded closed-loop server, so the parallel harness can
+#: spread the scenario across workers (reduced digest == serial digest)
+MILLION_SHARD_COUNT = 8
+
+#: submitted-query floor the full-scale scenario must clear end-to-end
+MILLION_SUBMITTED_FLOOR = 1_000_000
+
+
+def _million_spec() -> WorkloadSpec:
+    """Small fast jobs, tiny think time: maximum completions per second
+    of simulated time, so a million submissions fit a sane horizon."""
+    job = RequestClass(
+        name="micro",
+        cpu=Exponential(0.008),
+        io=Exponential(0.016),
+        memory_mb=Uniform(2.0, 8.0),
+        rows=Constant(100),
+    )
+    return WorkloadSpec(
+        name="million",
+        request_classes=((job, 1.0),),
+        arrivals=ClosedArrivals(population=64, think_time=Constant(0.005)),
+        priority=1,
+    )
+
+
+def million_event_budget(scale: float) -> int:
+    """Explicit per-shard event cap for the million-query scenario.
+
+    Sized at ~3x the expected event count (2 events per completion plus
+    control ticks), so a runaway run raises
+    :class:`repro.errors.SimulationBudgetExceeded` instead of silently
+    truncating — never tight enough to clip a healthy run.
+    """
+    return int(1_200_000 * scale) + 200_000
+
+
+def run_million_query_shard(
+    scale: float = 1.0, seed: int = 23, shard: int = 0
+) -> Dict[str, object]:
+    """One shard of the million-query scenario (a closed-loop server)."""
+    horizon = max(5.0, 1100.0 * scale)
+    sim = Simulator(seed=seed + shard)
+    manager = build_manager(sim, scheduler=FCFSDispatcher(max_concurrency=32))
+    scenario = Scenario(specs=(_million_spec(),), horizon=horizon)
+    drive(manager, scenario, max_events=million_event_budget(scale))
+    stats = manager.metrics.stats_for("million")
+    return {
+        "completed": stats.completions,
+        "submitted": manager.submitted_count,
+        "events": sim.events_fired,
+        "sim_time": sim.now,
+        "digest": outcome_digest(manager),
+    }
+
+
+def run_million_query(scale: float = 1.0, seed: int = 23) -> Dict[str, object]:
+    """The 1M+ submitted-query macro-scenario (serial over its shards).
+
+    At ``scale=1.0`` the reduced run must clear
+    ``MILLION_SUBMITTED_FLOOR`` submissions; falling short raises, so a
+    partial run can never masquerade as the macro-scenario.
+    """
+    result = reduce_shards(
+        [
+            run_million_query_shard(scale, seed, shard)
+            for shard in range(MILLION_SHARD_COUNT)
+        ]
+    )
+    floor = int(MILLION_SUBMITTED_FLOOR * min(scale, 1.0))
+    if int(result["submitted"]) < floor:
+        raise RuntimeError(
+            f"million_query submitted {result['submitted']} queries, "
+            f"expected >= {floor} at scale {scale}"
+        )
+    return result
+
+
 SCENARIOS = {
     "high_mpl": run_high_mpl,
     "mixed_pipeline": run_mixed_pipeline,

@@ -16,8 +16,9 @@ management — the baseline of every experiment.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.core.interfaces import (
     AdmissionController,
@@ -83,21 +84,25 @@ class FCFSDispatcher(Scheduler):
         if max_concurrency is not None and max_concurrency < 1:
             raise ConfigurationError("max_concurrency must be >= 1 or None")
         self.max_concurrency = max_concurrency
-        self._queue: List[Query] = []
+        # deque: FCFS only pops the head, and list.pop(0) is O(backlog)
+        self._queue: Deque[Query] = deque()
 
     def enqueue(self, query: Query, context: ManagerContext) -> None:
         self._queue.append(query)
 
     def next_batch(self, context: ManagerContext) -> List[Query]:
+        queue = self._queue
+        if not queue:
+            return []
         batch: List[Query] = []
+        limit = self.max_concurrency
+        if limit is None:
+            batch.extend(queue)
+            queue.clear()
+            return batch
         running = context.engine.running_count
-        while self._queue:
-            if (
-                self.max_concurrency is not None
-                and running + len(batch) >= self.max_concurrency
-            ):
-                break
-            batch.append(self._queue.pop(0))
+        while queue and running + len(batch) < limit:
+            batch.append(queue.popleft())
         return batch
 
     def queued_count(self) -> int:
@@ -110,7 +115,8 @@ class FCFSDispatcher(Scheduler):
     def remove(self, query_id: int) -> Optional[Query]:
         for index, query in enumerate(self._queue):
             if query.query_id == query_id:
-                return self._queue.pop(index)
+                del self._queue[index]
+                return query
         return None
 
 
@@ -316,17 +322,22 @@ class WorkloadManager:
         if self._pumping:
             return
         self._pumping = True
+        # A dispatch burst happens at one instant: coalesce the
+        # per-start fair-share reallocations into a single solve.  The
+        # batch brackets are called directly (not via the
+        # ``reallocation_batch`` contextmanager) because pump runs on
+        # every submit and every engine exit.
+        engine = self.engine
+        engine._batch_enter()
         try:
-            # A dispatch burst happens at one instant: coalesce the
-            # per-start fair-share reallocations into a single solve.
-            with self.engine.reallocation_batch():
-                for _ in range(10_000):  # safety bound against livelock
-                    batch = self.scheduler.next_batch(self.context)
-                    if not batch:
-                        break
-                    for query in batch:
-                        self.engine.start(query, weight=self.weight_fn(query))
+            for _ in range(10_000):  # safety bound against livelock
+                batch = self.scheduler.next_batch(self.context)
+                if not batch:
+                    break
+                for query in batch:
+                    engine.start(query, weight=self.weight_fn(query))
         finally:
+            engine._batch_exit()
             self._pumping = False
 
     def _retry_delayed(self) -> None:
@@ -461,14 +472,21 @@ class WorkloadManager:
             self.control_period, self._tick, label="manager:tick"
         )
 
-    def run(self, horizon: float, drain: float = 0.0) -> None:
+    def run(
+        self,
+        horizon: float,
+        drain: float = 0.0,
+        max_events: Optional[int] = None,
+    ) -> None:
         """Run the simulation to ``horizon`` plus a drain window.
 
         The observation ends at ``horizon + drain``: work still running
         then stays unfinished (and unrecorded), exactly as a real
         measurement window would leave it.  A fixed endpoint also
         guarantees termination even though controllers keep periodic
-        processes armed.
+        processes armed.  ``max_events`` bounds the event count; hitting
+        it raises :class:`~repro.errors.SimulationBudgetExceeded` rather
+        than silently truncating the run.
         """
-        self.sim.run_until(horizon + drain)
+        self.sim.run_until(horizon + drain, max_events=max_events)
         self.shutdown()

@@ -19,27 +19,52 @@ Everything execution control needs is a first-class operation here:
 * ``remove_suspended`` — suspend-and-resume checkpoints then evicts;
 * automatic wait-die aborts surface as ``ABORTED`` outcomes so policies
   can resubmit.
+
+Hot-path layout (DESIGN.md §7): the running set lives in a columnar
+:class:`~repro.engine.runstore.RunStore`; per-query ``_Running`` handles
+carry only cold bookkeeping (the query object, lock points) and expose
+the array fields as properties.  The fluid advance, milestone selection
+and solve feed run vectorized over the arrays for large running sets and
+as plain scalar loops — performing bit-identical float arithmetic — for
+small ones (``EngineConfig.vectorize_min_running``).  The fair-share
+*fill* has two variants: the exact scalar fill shared with
+:func:`repro.engine.resources.fair_share_speeds`, and a numpy fill whose
+sum order differs in the last bits (``EngineConfig.vectorized_fill``;
+see BENCH_core.json's equivalence history for the digest re-baseline).
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from repro.engine.bufferpool import BufferPool
 from repro.engine.locks import LockManager, LockOutcome
 from repro.engine.query import Query, QueryState
 from repro.engine.resources import (
+    _EXACT_FILL_MAX_ACTIVE,
     MachineSpec,
     Resource,
     ResourceKind,
-    ShareRequest,
-    fair_share_speeds,
+    fair_share_fill_vectorized,
+    fill_two_resource,
 )
+from repro.engine.runstore import RunStore
 from repro.engine.simulator import Simulator
 from repro.errors import QueryStateError
+
+__all__ = [
+    "CompletionOutcome",
+    "CompletionCallback",
+    "EngineConfig",
+    "ExecutionEngine",
+    "compat_mode",
+]
 
 
 class CompletionOutcome(enum.Enum):
@@ -63,35 +88,117 @@ class EngineConfig:
     ``max_parallelism`` is the per-query ceiling on resource units,
     i.e. intra-query parallelism (1.0 = a query can at most keep one
     core and one disk unit busy).
+
+    Hot-path knobs:
+
+    ``vectorize_min_running``
+        Running-set size at which the advance/milestone/solve loops
+        switch from scalar Python to numpy array operations.  Both
+        perform identical float arithmetic; the scalar loops win below
+        ~16 entries on constant factors.  Set to ``0`` to force the
+        vectorized paths everywhere, or very large to force scalar.
+    ``vectorized_fill``
+        Allow the numpy fair-share fill (and dotted usage sums) for
+        running sets above the exact-fill threshold.  ``False`` keeps
+        the scalar fill whose results are bit-identical to the engine
+        before the columnar rework (the digest-compat oracle mode).
+    ``batch_dispatch``
+        Register same-timestamp batch hooks with the simulator so all
+        events at one instant share a single fair-share solve.
     """
 
     hot_set_size: int = 1000
     spill_penalty: float = 3.0
     max_parallelism: float = 1.0
+    vectorize_min_running: int = 17
+    vectorized_fill: bool = True
+    batch_dispatch: bool = True
 
 
-@dataclass
+#: Process-wide override installed by :func:`compat_mode`.
+_COMPAT_MODE = False
+
+
+@contextmanager
+def compat_mode():
+    """Force engines constructed inside the block into oracle mode.
+
+    Oracle mode (``vectorized_fill=False, batch_dispatch=False``)
+    reproduces the pre-columnar engine's float arithmetic and event
+    interleaving bit-for-bit, so runs under ``compat_mode`` must match
+    digests committed before the rework.  The equivalence harness
+    (``benchmarks/perf/equivalence.py``) uses this to compare old-vs-new
+    outcomes on every macro-scenario.  The environment variable
+    ``REPRO_ENGINE_COMPAT`` applies the same override (for subprocess
+    sweep workers).
+    """
+    global _COMPAT_MODE
+    previous = _COMPAT_MODE
+    _COMPAT_MODE = True
+    try:
+        yield
+    finally:
+        _COMPAT_MODE = previous
+
+
 class _Running:
-    query: Query
-    weight: float
-    throttle: float = 1.0            # 1 = full speed, 0 = paused
-    blocked: bool = False
-    speed: float = 0.0
-    lock_points: Sequence[float] = ()
-    next_lock: int = 0
-    last_sync: float = 0.0
-    # Cached solver request, rebuilt only when the engine's demand epoch
-    # moves (i.e. the buffer-pool inflation value changes); weight and
-    # throttle edits patch it in place.
-    request: Optional[ShareRequest] = field(default=None, repr=False)
-    bottleneck: float = 0.0
-    demand_epoch: int = -1
+    """Cold-path handle for one running query.
+
+    Hot fields (progress, speed, weight, throttle, demands, caps,
+    milestones) live in the engine's :class:`RunStore`; this object
+    keeps only what the arrays cannot hold — the query object and the
+    lock-point sequence — plus properties reading through to the store
+    so existing callers (tests, policies) see the familiar attributes.
+    """
+
+    __slots__ = ("query", "store", "lock_points", "next_lock")
+
+    def __init__(
+        self, query: Query, store: RunStore, lock_points: Sequence[float]
+    ) -> None:
+        self.query = query
+        self.store = store
+        self.lock_points = lock_points
+        self.next_lock = 0
+
+    @property
+    def slot(self) -> int:
+        return self.store.index[self.query.query_id]
+
+    @property
+    def speed(self) -> float:
+        return float(self.store.speed[self.slot])
+
+    @property
+    def blocked(self) -> bool:
+        return bool(self.store.blocked[self.slot])
+
+    @property
+    def weight(self) -> float:
+        return float(self.store.weight[self.slot])
+
+    @property
+    def throttle(self) -> float:
+        return float(self.store.throttle[self.slot])
+
+    @property
+    def bottleneck(self) -> float:
+        return float(self.store.bottleneck[self.slot])
 
     def next_milestone(self) -> float:
         """Progress value of the next interesting point (lock or done)."""
         if self.next_lock < len(self.lock_points):
             return self.lock_points[self.next_lock]
         return 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"_Running(q={self.query.query_id}, next_lock={self.next_lock}, "
+            f"locks={len(self.lock_points)})"
+        )
+
+
+_EMPTY_LOCKS: Sequence[float] = ()
 
 
 class ExecutionEngine:
@@ -105,7 +212,10 @@ class ExecutionEngine:
     ) -> None:
         self.sim = sim
         self.machine = machine or MachineSpec()
-        self.config = config or EngineConfig()
+        config = config or EngineConfig()
+        if _COMPAT_MODE or os.environ.get("REPRO_ENGINE_COMPAT"):
+            config = replace(config, vectorized_fill=False, batch_dispatch=False)
+        self.config = config
         self.buffer_pool = BufferPool(
             capacity_mb=self.machine.memory_mb,
             spill_penalty=self.config.spill_penalty,
@@ -117,6 +227,7 @@ class ExecutionEngine:
             kind: Resource(kind=kind, capacity=cap)
             for kind, cap in self.machine.rate_capacities().items()
         }
+        self.store = RunStore()
         self._running: Dict[int, _Running] = {}
         self._callbacks: List[CompletionCallback] = []
         self._milestone_handle = None
@@ -124,6 +235,8 @@ class ExecutionEngine:
         self.killed_count = 0
         self.aborted_count = 0
         self._capacities = self.machine.rate_capacities()
+        self._cpu_cap = float(self._capacities[ResourceKind.CPU])
+        self._disk_cap = float(self._capacities[ResourceKind.DISK])
         # Cached running-set snapshots, invalidated by *replacement* on
         # membership change — callers holding an old snapshot can keep
         # iterating it safely while queries start or finish.
@@ -135,11 +248,16 @@ class ExecutionEngine:
         self._alloc_version = 0
         self._solved_version = -1
         self._demand_epoch = 0
+        self._store_epoch = 0
         self._last_inflation = self.buffer_pool.io_inflation()
         # Deferred-reallocation batching (see ``reallocation_batch``).
         self._defer_depth = 0
         self._realloc_pending = False
         self._last_sync_time = -1.0
+        if self.config.batch_dispatch:
+            add_hooks = getattr(sim, "add_batch_hooks", None)
+            if add_hooks is not None:
+                add_hooks(self._batch_enter, self._batch_exit)
 
     # ------------------------------------------------------------------
     # observers
@@ -185,17 +303,25 @@ class ExecutionEngine:
 
     def progress_of(self, query_id: int) -> float:
         self._sync_all()
-        return self._entry(query_id).query.progress
+        entry = self._entry(query_id)
+        progress = float(self.store.progress[self.store.index[query_id]])
+        # Keep the query object's field coherent for direct readers —
+        # the store is authoritative while the query runs.
+        entry.query.progress = progress
+        return progress
 
     def speed_of(self, query_id: int) -> float:
         self._flush_reallocation()
-        return self._entry(query_id).speed
+        self._entry(query_id)
+        return float(self.store.speed[self.store.index[query_id]])
 
     def weight_of(self, query_id: int) -> float:
-        return self._entry(query_id).weight
+        self._entry(query_id)
+        return float(self.store.weight[self.store.index[query_id]])
 
     def throttle_of(self, query_id: int) -> float:
-        return self._entry(query_id).throttle
+        self._entry(query_id)
+        return float(self.store.throttle[self.store.index[query_id]])
 
     def conflict_ratio(self) -> float:
         return self.lock_manager.conflict_ratio()
@@ -214,29 +340,57 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     def start(self, query: Query, weight: float = 1.0) -> None:
         """Begin executing ``query`` with the given fair-share weight."""
-        if query.query_id in self._running:
-            raise QueryStateError(f"query {query.query_id} is already running")
+        query_id = query.query_id
+        if query_id in self._running:
+            raise QueryStateError(f"query {query_id} is already running")
         self._sync_all()
         query.transition(QueryState.RUNNING)
+        now = self.sim.now
         if query.start_time is None:
-            query.start_time = self.sim.now
-        self.buffer_pool.reserve(query.query_id, query.true_cost.memory_mb)
-        lock_points: Sequence[float] = ()
-        if query.true_cost.lock_count > 0:
-            lock_points = self.lock_manager.register(
-                query.query_id, query.true_cost.lock_count, self.sim.now
+            query.start_time = now
+        cost = query.true_cost
+        self.buffer_pool.reserve(query_id, cost.memory_mb)
+        lock_points: Sequence[float] = _EMPTY_LOCKS
+        if cost.lock_count > 0:
+            registered = self.lock_manager.register(
+                query_id, cost.lock_count, now
             )
-        entry = _Running(
-            query=query,
-            weight=max(weight, 1e-9),
-            lock_points=[p for p in lock_points if p > query.progress],
-            last_sync=self.sim.now,
-        )
-        self._running[query.query_id] = entry
+            lock_points = [p for p in registered if p > query.progress]
+        entry = _Running(query, self.store, lock_points)
+        self._running[query_id] = entry
         self._membership_changed()
+        store = self.store
+        slot = store.add(query_id)
+        store.progress[slot] = query.progress
+        weight = weight if weight > 1e-9 else 1e-9
+        store.weight[slot] = weight
+        store.throttle[slot] = 1.0
+        store.start_time[slot] = now
+        dc = cost.cpu_seconds
+        if dc <= 0:
+            dc = 0.0
+        di = cost.io_seconds
+        if di <= 0:
+            di = 0.0
+        store.cpu_base[slot] = dc
+        store.io_base[slot] = di
+        io = di * self._last_inflation
+        store.disk_demand[slot] = io
+        bottleneck = dc if dc >= io else io
+        store.bottleneck[slot] = bottleneck
+        if bottleneck > 1e-9:
+            store.solve_weight[slot] = weight / bottleneck
+            store.speed_cap[slot] = (
+                1.0 * self.config.max_parallelism / bottleneck
+            )
+        if lock_points:
+            store.milestone[slot] = lock_points[0]
+            store.locks_pending[slot] = True
+        else:
+            store.milestone[slot] = 1.0
         # Sub-nanosecond demands complete instantly; without the epsilon
         # a denormal demand overflows the speed-cap division below.
-        if query.true_cost.nominal_duration <= 1e-9:
+        if cost.nominal_duration <= 1e-9:
             self._finish(entry, CompletionOutcome.COMPLETED)
             return
         self._reallocate()
@@ -260,11 +414,14 @@ class ExecutionEngine:
         if weight <= 0:
             raise ValueError(f"weight must be positive, got {weight}")
         self._sync_all()
-        entry = self._entry(query_id)
-        if entry.weight != weight:
-            entry.weight = weight
-            if entry.request is not None and entry.demand_epoch == self._demand_epoch:
-                entry.request.weight = weight / entry.bottleneck
+        self._entry(query_id)
+        store = self.store
+        slot = store.index[query_id]
+        if float(store.weight[slot]) != weight:
+            store.weight[slot] = weight
+            bottleneck = float(store.bottleneck[slot])
+            if bottleneck > 1e-9:
+                store.solve_weight[slot] = weight / bottleneck
             self._alloc_version += 1
         self._reallocate()
 
@@ -273,10 +430,12 @@ class ExecutionEngine:
         if not 0.0 <= factor <= 1.0:
             raise ValueError(f"throttle factor must be in [0,1], got {factor}")
         self._sync_all()
-        entry = self._entry(query_id)
-        if entry.throttle != factor:
-            entry.throttle = factor
-            self._update_cap(entry)
+        self._entry(query_id)
+        store = self.store
+        slot = store.index[query_id]
+        if float(store.throttle[slot]) != factor:
+            store.throttle[slot] = factor
+            self._update_cap_slot(slot)
             self._alloc_version += 1
         self._reallocate()
 
@@ -300,22 +459,44 @@ class ExecutionEngine:
     def _sync_all(self) -> None:
         """Advance every running query's progress to the current time."""
         now = self.sim.now
-        if now == self._last_sync_time:
+        previous = self._last_sync_time
+        if now == previous:
             return
         self._last_sync_time = now
-        for entry in self._running.values():
-            dt = now - entry.last_sync
-            if dt > 0 and entry.speed > 0:
-                progress = entry.query.progress + entry.speed * dt
+        store = self.store
+        idx = store.live_indices()
+        n = idx.size
+        if n == 0:
+            return
+        dt = now - previous
+        if n >= self.config.vectorize_min_running:
+            speed = store.speed[idx]
+            moving = speed > 0.0
+            if not moving.any():
+                return
+            midx = idx[moving]
+            old_progress = store.progress[midx]
+            new_progress = old_progress + speed[moving] * dt
+            if bool(((new_progress >= 1.0) & (old_progress < 1.0)).any()):
+                # A query crossing the finish line leaves the active
+                # request set, so the memoized allocation is stale
+                # until the next real solve.
+                self._alloc_version += 1
+            store.progress[midx] = np.minimum(new_progress, 1.0)
+            return
+        slots = idx.tolist()
+        speeds = store.speed[idx].tolist()
+        progresses = store.progress[idx].tolist()
+        progress_col = store.progress
+        for i in range(n):
+            speed = speeds[i]
+            if speed > 0.0:
+                progress = progresses[i] + speed * dt
                 if progress >= 1.0:
-                    if entry.query.progress < 1.0:
-                        # A query crossing the finish line leaves the
-                        # active request set, so the memoized allocation
-                        # is stale until the next real solve.
+                    if progresses[i] < 1.0:
                         self._alloc_version += 1
                     progress = 1.0
-                entry.query.progress = progress
-            entry.last_sync = now
+                progress_col[slots[i]] = progress
 
     def _membership_changed(self) -> None:
         self._snapshot = None
@@ -326,43 +507,52 @@ class ExecutionEngine:
             self._last_inflation = inflation
             self._demand_epoch += 1
 
-    def _update_cap(self, entry: _Running) -> None:
-        request = entry.request
-        if request is None:
+    def _update_cap_slot(self, slot: int) -> None:
+        store = self.store
+        if store.blocked[slot] or store.throttle[slot] <= 0.0:
+            store.speed_cap[slot] = 0.0
             return
-        if entry.blocked or entry.throttle <= 0:
-            request.speed_cap = 0.0
-        else:
-            request.speed_cap = (
-                entry.throttle * self.config.max_parallelism / entry.bottleneck
+        bottleneck = float(store.bottleneck[slot])
+        if bottleneck > 1e-9:
+            store.speed_cap[slot] = (
+                float(store.throttle[slot])
+                * self.config.max_parallelism
+                / bottleneck
             )
+        else:
+            store.speed_cap[slot] = 0.0
 
-    def _request_for(self, entry: _Running) -> Optional[ShareRequest]:
-        """The entry's cached solver request, rebuilt on epoch change."""
-        if entry.demand_epoch != self._demand_epoch:
-            entry.demand_epoch = self._demand_epoch
-            cost = entry.query.true_cost
-            demands: Dict[ResourceKind, float] = {}
-            if cost.cpu_seconds > 0:
-                demands[ResourceKind.CPU] = cost.cpu_seconds
-            io = cost.io_seconds * self._last_inflation
-            if io > 0:
-                demands[ResourceKind.DISK] = io
-            bottleneck = max(demands.values(), default=0.0)
-            entry.bottleneck = bottleneck
-            if bottleneck <= 1e-9:
-                entry.request = None
-            else:
-                entry.request = ShareRequest(
-                    key=entry.query.query_id,
-                    # Divide by the bottleneck demand so equal business
-                    # weights mean equal *resource* shares, not equal
-                    # progress speeds (see resources.py docstring).
-                    weight=entry.weight / bottleneck,
-                    demands=demands,
-                )
-                self._update_cap(entry)
-        return entry.request
+    def _refresh_demands(self) -> None:
+        """Recompute inflation-dependent columns for the current epoch.
+
+        Elementwise, so bit-identical to the per-entry scalar rebuild
+        the pre-columnar engine performed lazily per solve.
+        """
+        store = self.store
+        idx = store.live_indices()
+        if idx.size:
+            io = store.io_base[idx] * self._last_inflation
+            store.disk_demand[idx] = io
+            bottleneck = np.maximum(store.cpu_base[idx], io)
+            store.bottleneck[idx] = bottleneck
+            safe = np.where(bottleneck > 1e-9, bottleneck, 1.0)
+            store.solve_weight[idx] = store.weight[idx] / safe
+            cap = store.throttle[idx] * self.config.max_parallelism / safe
+            dead = (
+                store.blocked[idx]
+                | (store.throttle[idx] <= 0.0)
+                | (bottleneck <= 1e-9)
+            )
+            store.speed_cap[idx] = np.where(dead, 0.0, cap)
+        self._store_epoch = self._demand_epoch
+
+    def _batch_enter(self) -> None:
+        self._defer_depth += 1
+
+    def _batch_exit(self) -> None:
+        self._defer_depth -= 1
+        if self._defer_depth == 0 and self._realloc_pending:
+            self._solve()
 
     @contextmanager
     def reallocation_batch(self):
@@ -373,15 +563,15 @@ class ExecutionEngine:
         Reads that depend on fresh speeds (``speed_of``,
         ``utilization``) flush the pending solve on demand, so a batch
         is observationally transparent; the pending solve always runs
-        before control returns to the simulator.
+        before control returns to the simulator.  The simulator's
+        same-timestamp event batches enter the same depth counter via
+        :meth:`Simulator.add_batch_hooks`.
         """
-        self._defer_depth += 1
+        self._batch_enter()
         try:
             yield
         finally:
-            self._defer_depth -= 1
-            if self._defer_depth == 0 and self._realloc_pending:
-                self._solve()
+            self._batch_exit()
 
     def _flush_reallocation(self) -> None:
         if self._realloc_pending:
@@ -407,47 +597,157 @@ class ExecutionEngine:
             if self._milestone_handle is None:
                 self._schedule_next_milestone()
             return
-        requests: List[ShareRequest] = []
-        for entry in self._running.values():
-            request = self._request_for(entry)
-            if request is None:
-                # vanishing remaining demand: mark done so the milestone
-                # reaper completes it rather than dividing by ~zero
-                entry.query.progress = 1.0
-                continue
-            if entry.query.progress >= 1.0:
-                continue
-            requests.append(request)
-        speeds, usage_totals = fair_share_speeds(requests, self._capacities)
-        for entry in self._running.values():
-            entry.speed = speeds.get(entry.query.query_id, 0.0)
-        for kind, resource in self.resources.items():
-            resource.record(now, usage_totals.get(kind, 0.0))
+        if self._store_epoch != self._demand_epoch:
+            self._refresh_demands()
+        store = self.store
+        idx = store.live_indices()
+        if (
+            self.config.vectorized_fill
+            and idx.size >= self.config.vectorize_min_running
+            and idx.size > _EXACT_FILL_MAX_ACTIVE
+        ):
+            usage_cpu, usage_disk = self._solve_vectorized(idx)
+        else:
+            usage_cpu, usage_disk = self._solve_scalar(idx)
+        self.resources[ResourceKind.CPU].record(now, usage_cpu)
+        self.resources[ResourceKind.DISK].record(now, usage_disk)
         self._solved_version = self._alloc_version
         self._schedule_next_milestone()
+
+    def _solve_scalar(self, idx: np.ndarray):
+        """Feed the exact scalar fill from the columnar store.
+
+        Iteration order, float arithmetic and accumulation order match
+        the pre-columnar engine's solve exactly (the fill core is the
+        shared :func:`fill_two_resource`), so scalar solves reproduce
+        committed digests bit-for-bit.
+        """
+        store = self.store
+        slots = idx.tolist()
+        bottlenecks = store.bottleneck[idx].tolist()
+        progresses = store.progress[idx].tolist()
+        weights = store.solve_weight[idx].tolist()
+        cpu_demands = store.cpu_base[idx].tolist()
+        disk_demands = store.disk_demand[idx].tolist()
+        caps = store.speed_cap[idx].tolist()
+        progress_col = store.progress
+        active: List[List] = []
+        speeds: Dict[int, float] = {}
+        for i in range(len(slots)):
+            if bottlenecks[i] <= 1e-9:
+                # vanishing remaining demand: mark done so the milestone
+                # reaper completes it rather than dividing by ~zero
+                progress_col[slots[i]] = 1.0
+                continue
+            if progresses[i] >= 1.0:
+                continue
+            cap = caps[i]
+            if cap == 0.0:
+                continue
+            slot = slots[i]
+            speeds[slot] = 0.0
+            active.append([slot, weights[i], cpu_demands[i], disk_demands[i], cap])
+        if idx.size:
+            store.speed[idx] = 0.0
+        if not active:
+            return 0.0, 0.0
+        fill_two_resource(active, speeds, self._cpu_cap, self._disk_cap)
+        speed_col = store.speed
+        usage_cpu = usage_disk = 0.0
+        for item in active:
+            speed = speeds[item[0]]
+            speed_col[item[0]] = speed
+            if speed <= 0:
+                continue
+            usage_cpu += speed * item[2]
+            usage_disk += speed * item[3]
+        return usage_cpu, usage_disk
+
+    def _solve_vectorized(self, idx: np.ndarray):
+        """Vectorized solve: numpy fill + dotted usage sums.
+
+        Results agree with :meth:`_solve_scalar` to solver tolerance
+        (1e-9 per speed) but not bit-for-bit — sum order differs — which
+        is why enabling it required the committed digest re-baseline.
+        """
+        store = self.store
+        bottleneck = store.bottleneck[idx]
+        progress = store.progress[idx]
+        trivial = bottleneck <= 1e-9
+        if bool(trivial.any()):
+            store.progress[idx[trivial]] = 1.0
+        caps = store.speed_cap[idx]
+        active_mask = ~trivial & (progress < 1.0) & (caps > 0.0)
+        store.speed[idx] = 0.0
+        if not bool(active_mask.any()):
+            return 0.0, 0.0
+        act = idx[active_mask]
+        cpu_demand = store.cpu_base[act]
+        disk_demand = store.disk_demand[act]
+        speeds = fair_share_fill_vectorized(
+            store.solve_weight[act],
+            cpu_demand,
+            disk_demand,
+            caps[active_mask],
+            self._cpu_cap,
+            self._disk_cap,
+        )
+        store.speed[act] = speeds
+        positive = speeds > 0.0
+        usage_cpu = float(np.dot(speeds[positive], cpu_demand[positive]))
+        usage_disk = float(np.dot(speeds[positive], disk_demand[positive]))
+        return usage_cpu, usage_disk
 
     def _schedule_next_milestone(self) -> None:
         if self._milestone_handle is not None:
             self._milestone_handle.cancel()
             self._milestone_handle = None
+        store = self.store
+        idx = store.live_indices()
+        n = idx.size
+        if n == 0:
+            return
+        now = self.sim.now
         best_time = None
         best_id = None
-        for entry in self._running.values():
-            done = (
-                entry.query.progress >= 1.0 - 1e-12
-                and entry.next_lock >= len(entry.lock_points)
-            )
-            if done:
-                # Finished during a sync triggered by someone else's event;
-                # reap it via an immediate milestone of its own.
-                best_time, best_id = self.sim.now, entry.query.query_id
-                break
-            if entry.speed <= 0:
-                continue
-            gap = entry.next_milestone() - entry.query.progress
-            eta = self.sim.now + max(gap, 0.0) / entry.speed
-            if best_time is None or eta < best_time:
-                best_time, best_id = eta, entry.query.query_id
+        if n >= self.config.vectorize_min_running:
+            progress = store.progress[idx]
+            done = (progress >= 1.0 - 1e-12) & ~store.locks_pending[idx]
+            if bool(done.any()):
+                # Finished during a sync triggered by someone else's
+                # event; reap it via an immediate milestone of its own.
+                best_time = now
+                best_id = int(store.qid[idx[int(np.argmax(done))]])
+            else:
+                speed = store.speed[idx]
+                moving = speed > 0.0
+                if bool(moving.any()):
+                    eta = np.full(n, np.inf)
+                    gap = store.milestone[idx] - progress
+                    np.maximum(gap, 0.0, out=gap)
+                    eta[moving] = now + gap[moving] / speed[moving]
+                    pos = int(np.argmin(eta))
+                    best_time = float(eta[pos])
+                    best_id = int(store.qid[idx[pos]])
+        else:
+            slots = idx.tolist()
+            qids = store.qid[idx].tolist()
+            progresses = store.progress[idx].tolist()
+            speeds = store.speed[idx].tolist()
+            milestones = store.milestone[idx].tolist()
+            locks_pending = store.locks_pending[idx].tolist()
+            for i in range(n):
+                progress = progresses[i]
+                if progress >= 1.0 - 1e-12 and not locks_pending[i]:
+                    best_time, best_id = now, qids[i]
+                    break
+                speed = speeds[i]
+                if speed <= 0:
+                    continue
+                gap = milestones[i] - progress
+                eta = now + (gap if gap > 0.0 else 0.0) / speed
+                if best_time is None or eta < best_time:
+                    best_time, best_id = eta, qids[i]
         if best_id is not None:
             self._milestone_handle = self.sim.schedule_at(
                 best_time,
@@ -463,28 +763,41 @@ class ExecutionEngine:
             self._reallocate()
             return
         self._sync_all()
+        store = self.store
+        slot = store.index[query_id]
         milestone = entry.next_milestone()
-        if entry.query.progress >= milestone - 1e-9:
-            entry.query.progress = max(entry.query.progress, milestone)
+        progress = float(store.progress[slot])
+        if progress >= milestone - 1e-9:
+            if progress < milestone:
+                store.progress[slot] = milestone
+                progress = milestone
             if entry.next_lock < len(entry.lock_points):
                 self._acquire_next_lock(entry)
                 return
-            if entry.query.progress >= 1.0 - 1e-12:
+            if progress >= 1.0 - 1e-12:
                 self._finish(entry, CompletionOutcome.COMPLETED)
                 return
         self._reallocate()
 
     def _acquire_next_lock(self, entry: _Running) -> None:
-        outcome = self.lock_manager.try_acquire(
-            entry.query.query_id, entry.next_lock
-        )
+        query_id = entry.query.query_id
+        outcome = self.lock_manager.try_acquire(query_id, entry.next_lock)
         if outcome is LockOutcome.GRANTED:
             entry.next_lock += 1
+            store = self.store
+            slot = store.index[query_id]
+            if entry.next_lock < len(entry.lock_points):
+                store.milestone[slot] = entry.lock_points[entry.next_lock]
+            else:
+                store.milestone[slot] = 1.0
+                store.locks_pending[slot] = False
             self._reallocate()
         elif outcome is LockOutcome.WAIT:
-            entry.blocked = True
+            store = self.store
+            slot = store.index[query_id]
+            store.blocked[slot] = True
             entry.query.transition(QueryState.BLOCKED)
-            self._update_cap(entry)
+            store.speed_cap[slot] = 0.0
             self._alloc_version += 1
             self._reallocate()
         else:  # DIE: wait-die victim, abort and let policies resubmit
@@ -492,10 +805,18 @@ class ExecutionEngine:
 
     def _finish(self, entry: _Running, outcome: CompletionOutcome) -> None:
         query = entry.query
-        self._running.pop(query.query_id, None)
-        self.buffer_pool.release(query.query_id)
+        query_id = query.query_id
+        store = self.store
+        slot = store.index.get(query_id)
+        if slot is not None:
+            # Write the fluid progress back before terminal transitions
+            # overwrite it; the store row dies with the entry.
+            query.progress = float(store.progress[slot])
+            store.remove(query_id)
+        self._running.pop(query_id, None)
+        self.buffer_pool.release(query_id)
         self._membership_changed()
-        woken = self.lock_manager.release_all(query.query_id)
+        woken = self.lock_manager.release_all(query_id)
         if outcome is CompletionOutcome.COMPLETED:
             query.progress = 1.0
             query.end_time = self.sim.now
@@ -520,14 +841,27 @@ class ExecutionEngine:
             query.suspend_count += 1
         for woken_id in woken:
             woken_entry = self._running.get(woken_id)
-            if woken_entry is not None and woken_entry.blocked:
-                woken_entry.blocked = False
+            if woken_entry is None:
+                continue
+            woken_slot = store.index[woken_id]
+            if store.blocked[woken_slot]:
+                store.blocked[woken_slot] = False
                 woken_entry.query.transition(QueryState.RUNNING)
                 woken_entry.next_lock += 1
-                self._update_cap(woken_entry)
+                if woken_entry.next_lock < len(woken_entry.lock_points):
+                    store.milestone[woken_slot] = woken_entry.lock_points[
+                        woken_entry.next_lock
+                    ]
+                else:
+                    store.milestone[woken_slot] = 1.0
+                    store.locks_pending[woken_slot] = False
+                self._update_cap_slot(woken_slot)
         # One solve covers this exit plus whatever the exit callbacks do
         # at the same instant (resubmits, replacement dispatches).
-        with self.reallocation_batch():
+        self._batch_enter()
+        try:
             self._reallocate()
             for callback in list(self._callbacks):
                 callback(query, outcome)
+        finally:
+            self._batch_exit()

@@ -60,7 +60,7 @@ class StatementType(enum.Enum):
     UTILITY = "UTILITY"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CostVector:
     """Resource demand of a query.
 
@@ -106,7 +106,7 @@ class CostVector:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlanOperator:
     """One operator in a query execution plan.
 
@@ -125,7 +125,7 @@ class PlanOperator:
     blocking: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryPlan:
     """An ordered pipeline of operators."""
 
@@ -169,7 +169,7 @@ class QueryPlan:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Query:
     """A request flowing through the workload-management pipeline."""
 

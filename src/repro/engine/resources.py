@@ -28,6 +28,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import CapacityError
 
 
@@ -429,6 +431,35 @@ def _fair_share_speeds_2r(
         speeds[req.key] = 0.0
         active.append([req.key, req.weight, dc, dd, req.speed_cap])
 
+    fill_two_resource(active, speeds, cpu_cap, disk_cap)
+
+    usage_cpu = usage_disk = 0.0
+    for item in active:
+        speed = speeds[item[0]]
+        if speed <= 0:
+            continue
+        usage_cpu += speed * item[2]
+        usage_disk += speed * item[3]
+    return speeds, {cpu: usage_cpu, disk: usage_disk}
+
+
+def fill_two_resource(
+    active: List[List],
+    speeds: Dict[Hashable, float],
+    cpu_cap: float,
+    disk_cap: float,
+) -> None:
+    """Scalar two-resource progressive-filling core.
+
+    ``active`` items are ``[key, weight, cpu_demand, disk_demand, cap]``
+    with positive weight, positive cap, and at least one positive
+    demand; ``speeds`` must be pre-seeded with ``0.0`` per key.  This is
+    the exact fill the executor's scalar path and
+    :func:`_fair_share_speeds_2r` share — the arithmetic, accumulation
+    order and tolerances are the generic fill's, so results stay
+    bit-identical to :func:`allocate_fair_shares` for the same inputs.
+    """
+    cpu, disk = ResourceKind.CPU, ResourceKind.DISK
     headroom_cpu, headroom_disk = float(cpu_cap), float(disk_cap)
     remaining = active
     batched = len(active) > _EXACT_FILL_MAX_ACTIVE
@@ -509,14 +540,93 @@ def _fair_share_speeds_2r(
         else:  # all caps reached simultaneously
             break
 
-    usage_cpu = usage_disk = 0.0
-    for item in active:
-        speed = speeds[item[0]]
-        if speed <= 0:
-            continue
-        usage_cpu += speed * item[2]
-        usage_disk += speed * item[3]
-    return speeds, {cpu: usage_cpu, disk: usage_disk}
+
+def fair_share_fill_vectorized(
+    weights: np.ndarray,
+    cpu_demand: np.ndarray,
+    disk_demand: np.ndarray,
+    caps: np.ndarray,
+    cpu_cap: float,
+    disk_cap: float,
+) -> np.ndarray:
+    """Vectorized two-resource progressive filling over numpy arrays.
+
+    Inputs are parallel float64 arrays of the *active* requests only
+    (positive weight, positive cap, at least one positive demand, absent
+    demands exactly ``0.0``).  Returns the speeds array in input order.
+
+    Mirrors the batched scalar rounds structurally — early exit when all
+    remaining requests fit at cap, one binding constraint per round with
+    ``1e-15`` comparison tolerance, batched cap retirement at relative
+    ``1e-12`` with a forced-progress fallback — but accumulates growth
+    and usage sums with :func:`numpy.dot` (pairwise summation), so
+    results agree with :func:`allocate_fair_shares_reference` to within
+    ``1e-9`` per speed rather than bit-for-bit.  Engines that need
+    bit-identity with committed digests use the scalar
+    :func:`fill_two_resource` instead (``EngineConfig.vectorized_fill``).
+    """
+    n = int(weights.shape[0])
+    speeds = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return speeds
+    idx = np.arange(n)
+    headroom_cpu, headroom_disk = float(cpu_cap), float(disk_cap)
+    for _round in range(2 * n + 2):
+        if idx.size == 0:
+            break
+        w = weights[idx]
+        dc = cpu_demand[idx]
+        dd = disk_demand[idx]
+        cap = caps[idx]
+        gap = cap - speeds[idx]
+        gap_pos = np.maximum(gap, 0.0)
+        need_cpu = float(np.dot(gap_pos, dc))
+        need_disk = float(np.dot(gap_pos, dd))
+        if (need_cpu == 0.0 or need_cpu <= headroom_cpu) and (
+            need_disk == 0.0 or need_disk <= headroom_disk
+        ):
+            np.maximum.at(speeds, idx, cap)
+            break
+
+        growth_cpu = float(np.dot(w, dc))
+        growth_disk = float(np.dot(w, dd))
+        dt_best = float("inf")
+        binding = None  # "cpu" | "disk" | "cap"
+        if growth_cpu > 0:
+            dt = headroom_cpu / growth_cpu
+            if dt < dt_best - 1e-15:
+                dt_best, binding = dt, "cpu"
+        if growth_disk > 0:
+            dt = headroom_disk / growth_disk
+            if dt < dt_best - 1e-15:
+                dt_best, binding = dt, "disk"
+        cap_dts = gap / w
+        cap_min = float(cap_dts.min())
+        if cap_min < dt_best - 1e-15:
+            dt_best, binding = cap_min, "cap"
+
+        if dt_best < 0.0:
+            dt_best = 0.0
+        grow = dt_best * w
+        speeds[idx] += grow
+        headroom_cpu -= float(np.dot(grow, dc))
+        headroom_disk -= float(np.dot(grow, dd))
+
+        if binding == "cpu":
+            idx = idx[dc == 0.0]
+        elif binding == "disk":
+            idx = idx[dd == 0.0]
+        elif binding == "cap":
+            rem_gap = caps[idx] - speeds[idx]
+            keep = rem_gap > 1e-12 * np.maximum(1.0, np.abs(caps[idx]))
+            if bool(keep.all()):
+                # float tolerance missed the binder: drop the request
+                # closest to its cap so the loop always makes progress
+                keep[int(np.argmin(rem_gap / weights[idx]))] = False
+            idx = idx[keep]
+        else:  # all caps reached simultaneously
+            break
+    return speeds
 
 
 @dataclass

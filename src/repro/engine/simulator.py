@@ -13,6 +13,13 @@ Determinism rules used throughout the library:
 * all randomness comes from named, seeded :class:`numpy.random.Generator`
   streams obtained via :meth:`Simulator.rng`, so adding a new random
   consumer does not perturb existing streams.
+
+Throughput notes (see DESIGN.md §7): an :class:`Event` is its own
+cancellation handle (one ``__slots__`` object per scheduled callback
+instead of a frozen-dataclass/handle pair), and the run loops dispatch
+all events sharing one timestamp as a *batch* bracketed by registered
+enter/exit hooks, so an engine can defer its reallocation solve until
+the last event of the instant has fired.
 """
 
 from __future__ import annotations
@@ -25,38 +32,39 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import SimulationBudgetExceeded, SimulationError
 
 
-@dataclass(frozen=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback, doubling as its own cancellation handle.
 
     Events compare by ``(time, seq)`` which gives deterministic FIFO
-    ordering among events scheduled for the same instant.
+    ordering among events scheduled for the same instant.  The object
+    is pushed on the heap directly; :meth:`cancel` marks it dead and
+    keeps the simulator's live-event counter exact, and ``done`` blocks
+    a late cancel on an already-fired event from drifting the count.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], None]
-    label: str = ""
+    __slots__ = ("time", "seq", "action", "label", "cancelled", "done", "sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        label: str = "",
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = False
+        self.done = False
+        self.sim = sim
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
-
-
-@dataclass
-class _EventHandle:
-    """Mutable cancellation token returned by :meth:`Simulator.schedule`."""
-
-    event: Event
-    cancelled: bool = False
-    #: Owning simulator; lets ``cancel`` keep the live-event counter
-    #: behind :meth:`Simulator.pending_events` exact without a scan.
-    sim: Optional["Simulator"] = None
-    #: True once the event has been dequeued (fired or skipped), so a
-    #: late ``cancel`` on an already-fired event cannot drift the count.
-    done: bool = False
 
     def cancel(self) -> None:
         """Prevent the event's action from running when it is dequeued."""
@@ -67,8 +75,18 @@ class _EventHandle:
             self.sim._live_events -= 1
 
     @property
-    def time(self) -> float:
-        return self.event.time
+    def event(self) -> "Event":
+        """Back-compat: the old handle exposed the event it guarded."""
+        return self
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else ("done" if self.done else "pending")
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {self.label!r}, {state})"
+
+
+#: Back-compat alias: ``schedule``/``schedule_at`` used to return a
+#: separate handle type; the event now plays both roles.
+_EventHandle = Event
 
 
 class Simulator:
@@ -86,12 +104,14 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self._seed = int(seed)
         self._now = 0.0
-        self._queue: List[Tuple[Event, _EventHandle]] = []
+        self._queue: List[Event] = []
         self._seq = itertools.count()
         self._rngs: Dict[str, np.random.Generator] = {}
         self._running = False
         self._events_fired = 0
         self._live_events = 0
+        #: (enter, exit) pairs bracketing same-timestamp event batches.
+        self._batch_hooks: List[Tuple[Callable[[], None], Callable[[], None]]] = []
 
     # ------------------------------------------------------------------
     # time
@@ -130,21 +150,23 @@ class Simulator:
     # ------------------------------------------------------------------
     def schedule_at(
         self, time: float, action: Callable[[], None], label: str = ""
-    ) -> _EventHandle:
+    ) -> Event:
         """Schedule ``action`` to run at absolute simulated ``time``."""
-        if time < self._now - 1e-12:
-            raise SimulationError(
-                f"cannot schedule event at {time:.6f} in the past (now={self._now:.6f})"
-            )
-        event = Event(time=max(time, self._now), seq=next(self._seq), action=action, label=label)
-        handle = _EventHandle(event=event, sim=self)
-        heapq.heappush(self._queue, (event, handle))
+        now = self._now
+        if time < now:
+            if time < now - 1e-12:
+                raise SimulationError(
+                    f"cannot schedule event at {time:.6f} in the past (now={now:.6f})"
+                )
+            time = now
+        event = Event(time, next(self._seq), action, label, self)
+        heapq.heappush(self._queue, event)
         self._live_events += 1
-        return handle
+        return event
 
     def schedule(
         self, delay: float, action: Callable[[], None], label: str = ""
-    ) -> _EventHandle:
+    ) -> Event:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
@@ -171,16 +193,38 @@ class Simulator:
         return process
 
     # ------------------------------------------------------------------
+    # batch hooks
+    # ------------------------------------------------------------------
+    def add_batch_hooks(
+        self, enter: Callable[[], None], exit: Callable[[], None]
+    ) -> None:
+        """Register an enter/exit pair bracketing same-timestamp batches.
+
+        When the run loop finds several events queued for one instant it
+        calls every ``enter`` hook, fires the whole batch, then calls the
+        ``exit`` hooks in reverse order.  Execution engines register
+        their reallocation deferral here so N events at one timestamp
+        trigger one fair-share solve instead of N.  Hooks must be
+        idempotent per batch and must not advance time.
+        """
+        self._batch_hooks.append((enter, exit))
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False if none remain."""
-        while self._queue:
-            event, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                handle.done = True
+        """Execute the next pending event.  Returns False if none remain.
+
+        ``step`` fires exactly one event and never batches, so callers
+        single-stepping a simulation observe every event boundary.
+        """
+        queue = self._queue
+        while queue:
+            event = heapq.heappop(queue)
+            if event.cancelled:
+                event.done = True
                 continue
-            handle.done = True
+            event.done = True
             self._live_events -= 1
             self._now = event.time
             self._events_fired += 1
@@ -189,38 +233,97 @@ class Simulator:
         return False
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> None:
-        """Run events until simulated ``time`` (inclusive of events at it)."""
-        fired = 0
-        while self._queue:
-            event, handle = self._queue[0]
-            if event.time > time:
-                break
-            heapq.heappop(self._queue)
-            if handle.cancelled:
-                handle.done = True
-                continue
-            handle.done = True
-            self._live_events -= 1
-            self._now = event.time
-            self._events_fired += 1
-            event.action()
-            fired += 1
-            if max_events is not None and fired >= max_events:
-                raise SimulationError(
-                    f"run_until({time}) exceeded max_events={max_events}; "
-                    "possible event storm"
-                )
-        self._now = max(self._now, time)
+        """Run events until simulated ``time`` (inclusive of events at it).
+
+        Events sharing a timestamp are dispatched as one batch bracketed
+        by the registered batch hooks.  If ``max_events`` is given and
+        exhausted before ``time`` is reached,
+        :class:`~repro.errors.SimulationBudgetExceeded` is raised — the
+        run never silently truncates.
+        """
+        fired = self._dispatch(time, max_events, f"run_until({time})")
+        if time != float("inf") and time > self._now:
+            self._now = time
+        return fired
 
     def run(self, max_events: int = 10_000_000) -> None:
-        """Run until the event queue drains (or ``max_events`` fire)."""
+        """Run until the event queue drains (or ``max_events`` fire).
+
+        Raises :class:`~repro.errors.SimulationBudgetExceeded` at the
+        cap; pass an explicit ``max_events`` sized to the scenario when
+        driving large runs so the budget is a deliberate choice rather
+        than a silent default.
+        """
+        self._dispatch(float("inf"), max_events, "run()")
+
+    def _dispatch(
+        self, until: float, max_events: Optional[int], what: str
+    ) -> int:
+        """Shared batched dispatch loop for :meth:`run_until` / :meth:`run`."""
+        queue = self._queue
+        hooks = self._batch_hooks
         fired = 0
-        while self.step():
-            fired += 1
-            if fired >= max_events:
-                raise SimulationError(
-                    f"run() exceeded max_events={max_events}; possible event storm"
-                )
+        while queue:
+            head = queue[0]
+            time = head.time
+            if time > until:
+                break
+            heapq.heappop(queue)
+            if head.cancelled:
+                head.done = True
+                continue
+            head.done = True
+            self._live_events -= 1
+            self._now = time
+            self._events_fired += 1
+            if hooks and queue and queue[0].time == time:
+                # Same-timestamp batch: bracket with the registered
+                # hooks and drain every event at this instant.  Events
+                # scheduled *during* the batch at the same time join it
+                # (heap order keeps (time, seq) FIFO semantics intact).
+                for enter, _ in hooks:
+                    enter()
+                try:
+                    head.action()
+                    fired += 1
+                    if max_events is not None and fired >= max_events:
+                        raise SimulationBudgetExceeded(
+                            f"{what} exceeded max_events={max_events}; "
+                            "possible event storm or undersized budget",
+                            budget=max_events,
+                            fired=fired,
+                        )
+                    while queue and queue[0].time == time:
+                        nxt = heapq.heappop(queue)
+                        if nxt.cancelled:
+                            nxt.done = True
+                            continue
+                        nxt.done = True
+                        self._live_events -= 1
+                        self._events_fired += 1
+                        nxt.action()
+                        fired += 1
+                        if max_events is not None and fired >= max_events:
+                            raise SimulationBudgetExceeded(
+                                f"{what} exceeded max_events={max_events}; "
+                                "possible event storm or undersized budget",
+                                budget=max_events,
+                                fired=fired,
+                            )
+                finally:
+                    for _, exit in reversed(hooks):
+                        exit()
+            else:
+                head.action()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationBudgetExceeded(
+                        f"{what} exceeded max_events={max_events}; "
+                        "possible event storm or undersized budget",
+                        budget=max_events,
+                        fired=fired,
+                    )
+        return fired
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue.
@@ -272,6 +375,7 @@ class ScopedSimulator:
         "run_until",
         "run",
         "pending_events",
+        "add_batch_hooks",
     )
 
     def __init__(self, base: Simulator, scope: str) -> None:
@@ -315,7 +419,7 @@ class _PeriodicProcess:
     action: Callable[[], None]
     label: str = ""
     _stopped: bool = field(default=False, init=False)
-    _handle: Optional[_EventHandle] = field(default=None, init=False)
+    _handle: Optional[Event] = field(default=None, init=False)
 
     def _arm(self, time: float) -> None:
         if self._stopped:

@@ -18,6 +18,21 @@ class SimulationError(DbwmError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
+class SimulationBudgetExceeded(SimulationError):
+    """An event budget (``max_events``) was exhausted before the run drained.
+
+    Raised instead of silently truncating: a macro-scenario that stops at
+    the cap would otherwise report partial counters and digests as if
+    they were complete.  Carries the budget and the number of events
+    fired so harnesses can report exactly where the run stopped.
+    """
+
+    def __init__(self, message: str, *, budget: int, fired: int) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.fired = fired
+
+
 class SchedulingError(DbwmError):
     """A scheduler was asked to do something it cannot do."""
 

@@ -22,6 +22,7 @@ exactly that they cannot adapt).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional, Union
 
 from repro.core.interfaces import ManagerContext, Scheduler
@@ -85,7 +86,29 @@ class _QueueSchedulerBase(Scheduler):
 
 
 class FCFSScheduler(_QueueSchedulerBase):
-    """First-come-first-served dispatch under an MPL."""
+    """First-come-first-served dispatch under an MPL.
+
+    Stores its queue in a deque: FCFS only ever pops the head, and the
+    list-based ``pop(0)`` the base class uses is O(queue length) — a
+    real cost in backlogged scenarios where thousands of requests wait.
+    """
+
+    def __init__(self, mpl: MplLike = None) -> None:
+        super().__init__(mpl)
+        self._queue: deque = deque()
+
+    def _pop_next(self, context: ManagerContext) -> Query:
+        return self._queue.popleft()
+
+    def queued_queries(self) -> List[Query]:
+        return list(self._queue)
+
+    def remove(self, query_id: int) -> Optional[Query]:
+        for index, query in enumerate(self._queue):
+            if query.query_id == query_id:
+                del self._queue[index]
+                return query
+        return None
 
 
 class PriorityScheduler(_QueueSchedulerBase):

@@ -66,15 +66,23 @@ class WorkloadGenerator:
         # attributes (static characterization) can resolve sessions.
         self.sessions = sessions if sessions is not None else SessionRegistry()
         self._specs: List[WorkloadSpec] = []
+        self._spec_by_name: Dict[str, WorkloadSpec] = {}
         self._spec_sessions: Dict[str, List[Session]] = {}
         self._next_session: Dict[str, int] = {}
         self._closed_outstanding: Dict[int, str] = {}  # query_id -> spec name
+        # Per-spec hot-path handles: the cost/think RNG streams (memoized
+        # by the simulator, but the f-string + dict lookup per query adds
+        # up) and the per-class sql labels.
+        self._cost_rngs: Dict[str, object] = {}
+        self._think_rngs: Dict[str, object] = {}
+        self._sql_labels: Dict[int, str] = {}
         self._horizon = 0.0
         self.generated_count = 0
 
     def add(self, spec: WorkloadSpec) -> None:
         """Register a workload spec (before :meth:`start`)."""
         self._specs.append(spec)
+        self._spec_by_name[spec.name] = spec
 
     def start(self, horizon: float) -> None:
         """Schedule all arrivals within ``[0, horizon)``."""
@@ -103,12 +111,14 @@ class WorkloadGenerator:
         spec_name = self._closed_outstanding.pop(query.query_id, None)
         if spec_name is None:
             return
-        spec = next((s for s in self._specs if s.name == spec_name), None)
+        spec = self._spec_by_name.get(spec_name)
         if spec is None or not isinstance(spec.arrivals, ClosedArrivals):
             return
         if self.sim.now >= self._horizon:
             return
-        rng = self.sim.rng(f"think:{spec.name}")
+        rng = self._think_rngs.get(spec_name)
+        if rng is None:
+            rng = self._think_rngs[spec_name] = self.sim.rng(f"think:{spec_name}")
         think = max(0.0, spec.arrivals.think_time.sample(rng))
         self.sim.schedule(
             think, lambda s=spec: self._emit(s), label=f"think:{spec.name}"
@@ -117,15 +127,22 @@ class WorkloadGenerator:
     # ------------------------------------------------------------------
     def make_query(self, spec: WorkloadSpec) -> Query:
         """Create one query for ``spec`` without submitting it."""
-        rng = self.sim.rng(f"costs:{spec.name}")
+        name = spec.name
+        rng = self._cost_rngs.get(name)
+        if rng is None:
+            rng = self._cost_rngs[name] = self.sim.rng(f"costs:{name}")
         request_class = spec.pick_class(rng)
-        sessions = self._spec_sessions.get(spec.name) or [
+        sessions = self._spec_sessions.get(name) or [
             self.sessions.open(spec.session_attributes)
         ]
-        index = self._next_session.get(spec.name, 0)
+        index = self._next_session.get(name, 0)
         session = sessions[index % len(sessions)]
-        self._next_session[spec.name] = index + 1
+        self._next_session[name] = index + 1
         session.note_submission()
+        sql = self._sql_labels.get(id(request_class))
+        if sql is None:
+            sql = f"{name}:{request_class.name}"
+            self._sql_labels[id(request_class)] = sql
         query = Query(
             true_cost=request_class.sample_cost(rng),
             estimated_cost=request_class.sample_cost(rng),  # overwritten below
@@ -133,7 +150,7 @@ class WorkloadGenerator:
             plan=request_class.sample_plan(rng),
             session_id=session.session_id,
             priority=spec.priority,
-            sql=f"{spec.name}:{request_class.name}",
+            sql=sql,
             objects=tuple(request_class.objects),
         )
         self.optimizer.annotate(query)

@@ -148,23 +148,43 @@ class RequestClass:
             rows=int(round(max(0.0, self.rows.sample(rng)))),
         )
 
+    def _plan_template(self):
+        """Cached (names, alpha, blocking) for :meth:`sample_plan`.
+
+        The operator names, the Dirichlet alpha vector and the blocking
+        flags are properties of the class, not of the draw; rebuilding
+        them per query dominated ``sample_plan``.  The cached alpha holds
+        the same values as the inline ``np.ones(n) * 2.0`` did, so the
+        Dirichlet draw (and the RNG stream) is unchanged.
+        """
+        cached = self.__dict__.get("_plan_cache")
+        if cached is None:
+            names = tuple(self.plan_shape) or ("scan",)
+            alpha = np.full(len(names), 2.0)
+            blocking = tuple(
+                name in ("sort", "hash-build", "aggregate") for name in names
+            )
+            cached = (names, alpha, blocking)
+            object.__setattr__(self, "_plan_cache", cached)
+        return cached
+
     def sample_plan(self, rng: np.random.Generator) -> QueryPlan:
         """Draw a plan: the named operators with Dirichlet work split."""
-        names = list(self.plan_shape) or ["scan"]
-        fractions = rng.dirichlet(np.ones(len(names)) * 2.0)
+        names, alpha, blocking = self._plan_template()
+        fractions = rng.dirichlet(alpha)
         # Normalize defensively against float drift.
         fractions = fractions / fractions.sum()
-        operators = []
-        for index, (name, fraction) in enumerate(zip(names, fractions)):
-            operators.append(
-                PlanOperator(
-                    name=name,
-                    work_fraction=float(fraction),
-                    state_mb=self.operator_state_mb,
-                    blocking=(name in ("sort", "hash-build", "aggregate")),
-                )
+        state_mb = self.operator_state_mb
+        operators = tuple(
+            PlanOperator(
+                name=name,
+                work_fraction=float(fraction),
+                state_mb=state_mb,
+                blocking=is_blocking,
             )
-        return QueryPlan(operators=tuple(operators))
+            for name, fraction, is_blocking in zip(names, fractions, blocking)
+        )
+        return QueryPlan(operators=operators)
 
 
 # ----------------------------------------------------------------------
@@ -279,12 +299,34 @@ class WorkloadSpec:
         if any(weight <= 0 for _, weight in self.request_classes):
             raise ValueError("mix weights must be positive")
 
+    def _mix_template(self):
+        """Cached (classes, mix CDF) for :meth:`pick_class`.
+
+        The CDF is a property of the spec, not of the draw; caching it
+        and inverting one uniform draw replaces ``rng.choice``'s
+        per-call probability validation and cumsum, which dominated
+        ``pick_class``.  The draw is *identical* to
+        ``rng.choice(n, p=weights / weights.sum())``: ``Generator.choice``
+        with probabilities consumes exactly one ``rng.random()`` and
+        right-searches the renormalized CDF, which is what this does
+        (``tests/workloads`` pins the equivalence draw-for-draw).
+        """
+        cached = self.__dict__.get("_mix_cache")
+        if cached is None:
+            classes = tuple(cls for cls, _ in self.request_classes)
+            weights = np.array(
+                [w for _, w in self.request_classes], dtype=float
+            )
+            cdf = (weights / weights.sum()).cumsum()
+            cdf /= cdf[-1]
+            cached = (classes, cdf)
+            object.__setattr__(self, "_mix_cache", cached)
+        return cached
+
     def pick_class(self, rng: np.random.Generator) -> RequestClass:
         """Draw a request class according to the mix weights."""
-        classes = [cls for cls, _ in self.request_classes]
-        weights = np.array([w for _, w in self.request_classes], dtype=float)
-        index = rng.choice(len(classes), p=weights / weights.sum())
-        return classes[int(index)]
+        classes, cdf = self._mix_template()
+        return classes[cdf.searchsorted(rng.random(), side="right")]
 
     def mean_cost(self) -> CostVector:
         """Mix-weighted mean cost (consumed by analytical MPL models)."""

@@ -9,7 +9,8 @@ invariants, across generated request mixes well beyond the threshold.
 
 import math
 
-from hypothesis import given, settings
+import numpy as np
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.engine.resources import (
@@ -17,7 +18,9 @@ from repro.engine.resources import (
     ShareRequest,
     allocate_fair_shares,
     allocate_fair_shares_reference,
+    fair_share_fill_vectorized,
     fair_share_speeds,
+    fill_two_resource,
 )
 
 SPEED_TOL = 1e-9
@@ -142,6 +145,46 @@ def test_low_level_speeds_match_allocations(rows, capacities):
         assert math.isclose(
             usage_totals.get(kind, 0.0), expected, rel_tol=1e-9, abs_tol=1e-9
         )
+
+
+active_row_strategy = st.builds(
+    lambda weight, dc, dd, cap: (weight, dc, dd, cap),
+    weight=st.floats(min_value=1e-6, max_value=100.0),
+    dc=st.floats(min_value=0.0, max_value=50.0),
+    dd=st.floats(min_value=0.0, max_value=50.0),
+    cap=st.floats(min_value=1e-6, max_value=10.0),
+)
+
+
+@given(
+    rows=st.lists(active_row_strategy, min_size=1, max_size=60),
+    cpu_cap=st.floats(min_value=0.1, max_value=64.0),
+    disk_cap=st.floats(min_value=0.1, max_value=64.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_vectorized_fill_matches_exact_fill(rows, cpu_cap, disk_cap):
+    """The numpy water-fill agrees with the exact scalar fill to solver
+    tolerance on every active request (the executor's two solve paths)."""
+    # The executor only feeds rows with a positive bottleneck demand.
+    rows = [r for r in rows if max(r[1], r[2]) > 1e-6]
+    assume(rows)
+    active = [[i, w, dc, dd, cap] for i, (w, dc, dd, cap) in enumerate(rows)]
+    exact = {row[0]: 0.0 for row in active}
+    fill_two_resource(
+        [list(row) for row in active], exact, cpu_cap, disk_cap
+    )
+    vectorized = fair_share_fill_vectorized(
+        np.array([r[0] for r in rows]),
+        np.array([r[1] for r in rows]),
+        np.array([r[2] for r in rows]),
+        np.array([r[3] for r in rows]),
+        cpu_cap,
+        disk_cap,
+    )
+    for i in range(len(rows)):
+        assert math.isclose(
+            float(vectorized[i]), exact[i], rel_tol=1e-9, abs_tol=1e-9
+        ), f"row {i}: vectorized {vectorized[i]} vs exact {exact[i]}"
 
 
 def test_small_sets_are_bit_identical_to_reference():

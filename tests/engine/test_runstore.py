@@ -1,0 +1,140 @@
+"""Unit tests for the columnar running-set store.
+
+The store's one non-negotiable contract is *insertion-order
+preservation* (committed digests depend on float accumulation order —
+see DESIGN.md §7), so most tests here drive add/remove churn and assert
+live rows always read back in insertion order with their column values
+intact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.runstore import _COMPACT_MIN_DEAD, RunStore
+
+
+def test_add_returns_slot_and_zeroes_row():
+    store = RunStore()
+    slot = store.add(7)
+    assert store.index[7] == slot
+    assert store.qid[slot] == 7
+    assert store.alive[slot]
+    assert not store.blocked[slot]
+    assert store.progress[slot] == 0.0
+    assert len(store) == 1
+    assert 7 in store
+
+
+def test_duplicate_add_rejected():
+    store = RunStore()
+    store.add(1)
+    with pytest.raises(ValueError):
+        store.add(1)
+
+
+def test_remove_tombstones_and_clears_speed():
+    store = RunStore()
+    a = store.add(1)
+    store.add(2)
+    store.speed[a] = 3.5
+    store.remove(1)
+    assert 1 not in store
+    assert not store.alive[a]
+    assert store.speed[a] == 0.0  # dense-prefix passes must see 0
+    assert store.live_qids() == [2]
+
+
+def test_live_indices_cached_and_invalidated():
+    store = RunStore()
+    store.add(1)
+    first = store.live_indices()
+    assert store.live_indices() is first  # cached
+    store.add(2)
+    second = store.live_indices()
+    assert second is not first
+    assert second.tolist() == [0, 1]
+    store.remove(1)
+    assert store.live_indices().tolist() == [1]
+
+
+def test_insertion_order_survives_interleaved_removal():
+    store = RunStore()
+    for qid in range(10):
+        store.add(qid)
+    for qid in (3, 0, 7):
+        store.remove(qid)
+    assert store.live_qids() == [1, 2, 4, 5, 6, 8, 9]
+    store.add(100)
+    assert store.live_qids() == [1, 2, 4, 5, 6, 8, 9, 100]
+
+
+def test_growth_preserves_column_values():
+    store = RunStore(capacity=8)
+    for qid in range(20):  # forces at least one _grow
+        slot = store.add(qid)
+        store.progress[slot] = qid / 100.0
+        store.milestone[slot] = 1.0
+        store.locks_pending[slot] = qid % 2 == 0
+    assert store.capacity >= 20
+    for qid in range(20):
+        slot = store.index[qid]
+        assert store.progress[slot] == qid / 100.0
+        assert store.milestone[slot] == 1.0
+        assert store.locks_pending[slot] == (qid % 2 == 0)
+
+
+def test_compaction_gathers_live_rows_in_order():
+    store = RunStore(capacity=8)
+    for qid in range(40):
+        slot = store.add(qid)
+        store.progress[slot] = qid * 0.01
+    # Remove enough for remove() to trigger compaction
+    # (dead >= _COMPACT_MIN_DEAD and dead > live).
+    for qid in range(33):
+        store.remove(qid)
+    assert store.size - store.count < _COMPACT_MIN_DEAD  # compacted en route
+    assert store.live_qids() == list(range(33, 40))
+    for qid in range(33, 40):
+        assert store.progress[store.index[qid]] == pytest.approx(qid * 0.01)
+
+
+def test_full_table_reclaims_tombstones_before_growing():
+    store = RunStore(capacity=64)
+    for qid in range(64):
+        store.add(qid)
+    for qid in range(_COMPACT_MIN_DEAD):
+        store.remove(qid)
+    capacity_before = store.capacity
+    store.add(1000)  # table full, enough dead rows -> compact, not grow
+    assert store.capacity == capacity_before
+    assert store.live_qids() == list(range(_COMPACT_MIN_DEAD, 64)) + [1000]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=30)),
+        max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_random_churn_matches_ordered_dict_model(ops):
+    """The store behaves exactly like an insertion-ordered dict of rows."""
+    store = RunStore(capacity=8)
+    model = {}
+    for is_add, qid in ops:
+        if is_add and qid not in model:
+            slot = store.add(qid)
+            value = float(qid) * 0.5 + 1.0
+            store.progress[slot] = value
+            model[qid] = value
+        elif not is_add and qid in model:
+            store.remove(qid)
+            del model[qid]
+    assert store.live_qids() == list(model)
+    assert len(store) == len(model)
+    live = store.live_indices()
+    assert np.array_equal(store.qid[live], np.array(list(model), dtype=np.int64))
+    for qid, value in model.items():
+        assert store.progress[store.index[qid]] == value

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.simulator import Event, Simulator
-from repro.errors import SimulationError
+from repro.errors import SimulationBudgetExceeded, SimulationError
 
 
 class TestScheduling:
@@ -200,3 +200,103 @@ class TestEventOrdering:
         tie = Event(time=1.0, seq=2, action=lambda: None)
         assert early < late
         assert early < tie
+
+
+class TestBudget:
+    def test_budget_exceeded_carries_budget_and_fired(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.0, rearm)
+
+        sim.schedule_at(0.0, rearm)
+        with pytest.raises(SimulationBudgetExceeded) as excinfo:
+            sim.run_until(1.0, max_events=25)
+        assert excinfo.value.budget == 25
+        assert excinfo.value.fired == 25
+
+    def test_run_until_without_budget_is_unbounded(self):
+        sim = Simulator()
+        fired = []
+        for i in range(500):
+            sim.schedule_at(i * 0.001, lambda i=i: fired.append(i))
+        sim.run_until(1.0)  # no max_events: all 500 fire
+        assert len(fired) == 500
+
+    def test_budget_is_a_subclass_of_simulation_error(self):
+        # call sites that guard with SimulationError keep working
+        assert issubclass(SimulationBudgetExceeded, SimulationError)
+
+
+class TestBatchHooks:
+    def test_same_timestamp_events_bracketed_once(self):
+        sim = Simulator()
+        trace = []
+        sim.add_batch_hooks(
+            lambda: trace.append("enter"), lambda: trace.append("exit")
+        )
+        for name in ("a", "b", "c"):
+            sim.schedule_at(1.0, lambda n=name: trace.append(n))
+        sim.schedule_at(2.0, lambda: trace.append("solo"))
+        sim.run_until(3.0)
+        # one bracket around the 3-event batch; the lone event unbracketed
+        assert trace == ["enter", "a", "b", "c", "exit", "solo"]
+
+    def test_events_scheduled_during_batch_join_it(self):
+        sim = Simulator()
+        trace = []
+        sim.add_batch_hooks(
+            lambda: trace.append("enter"), lambda: trace.append("exit")
+        )
+
+        def first():
+            trace.append("first")
+            sim.schedule(0.0, lambda: trace.append("joined"))
+
+        sim.schedule_at(1.0, first)
+        sim.schedule_at(1.0, lambda: trace.append("second"))
+        sim.run_until(2.0)
+        assert trace == ["enter", "first", "second", "joined", "exit"]
+
+    def test_exit_hooks_run_in_reverse_order(self):
+        sim = Simulator()
+        trace = []
+        sim.add_batch_hooks(
+            lambda: trace.append("enter1"), lambda: trace.append("exit1")
+        )
+        sim.add_batch_hooks(
+            lambda: trace.append("enter2"), lambda: trace.append("exit2")
+        )
+        sim.schedule_at(1.0, lambda: trace.append("a"))
+        sim.schedule_at(1.0, lambda: trace.append("b"))
+        sim.run_until(2.0)
+        assert trace == ["enter1", "enter2", "a", "b", "exit2", "exit1"]
+
+    def test_exit_hooks_run_when_batch_raises(self):
+        sim = Simulator()
+        trace = []
+        sim.add_batch_hooks(
+            lambda: trace.append("enter"), lambda: trace.append("exit")
+        )
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule_at(1.0, boom)
+        sim.schedule_at(1.0, lambda: trace.append("never"))
+        with pytest.raises(RuntimeError):
+            sim.run_until(2.0)
+        assert trace == ["enter", "exit"]
+
+    def test_step_never_batches(self):
+        sim = Simulator()
+        trace = []
+        sim.add_batch_hooks(
+            lambda: trace.append("enter"), lambda: trace.append("exit")
+        )
+        sim.schedule_at(1.0, lambda: trace.append("a"))
+        sim.schedule_at(1.0, lambda: trace.append("b"))
+        assert sim.step()
+        assert trace == ["a"]
+        assert sim.step()
+        assert trace == ["a", "b"]

@@ -1,0 +1,138 @@
+"""Property: the vectorized processor-sharing advance matches the scalar
+reference path on randomized small workloads.
+
+The engine has three hot-path layers behind ``EngineConfig`` knobs:
+
+* the **advance** (``_sync_all``) and **milestone selection**
+  (``_schedule_next_milestone``) switch between a scalar loop and a
+  numpy path at ``vectorize_min_running`` — these are required to be
+  **bit-identical**, so completion-time streams and digests must be
+  exactly equal between a forced-scalar and a forced-vector run;
+* the **fair-share fill** switches at the same cutover (plus the
+  exact-fill floor) — the vectorized fill reorders float sums, so it is
+  pinned to solver tolerance instead (see
+  ``test_fair_share_equivalence``), and here end-to-end completion
+  times must agree to tolerance with exactly equal outcome counts.
+
+Workloads include same-timestamp submission collisions (draws land on a
+coarse time grid), zero-work queries (finish instantly inside start)
+and heavily skewed demands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.executor import EngineConfig, ExecutionEngine
+from repro.engine.query import QueryState
+from repro.engine.resources import MachineSpec
+from repro.engine.simulator import Simulator
+from tests.conftest import make_query
+
+_MACHINE = MachineSpec(cpu_capacity=4.0, disk_capacity=2.0, memory_mb=65536.0)
+
+#: forced-scalar reference: vector paths unreachable, no batch hooks
+SCALAR_CONFIG = EngineConfig(
+    vectorize_min_running=10**9, vectorized_fill=False, batch_dispatch=False
+)
+#: vectorized advance + milestone selection, exact scalar fill
+VECTOR_ADVANCE_CONFIG = EngineConfig(
+    vectorize_min_running=1, vectorized_fill=False, batch_dispatch=True
+)
+#: everything vectorized (the default-mode shape, forced on at any size)
+VECTOR_FILL_CONFIG = EngineConfig(
+    vectorize_min_running=1, vectorized_fill=True, batch_dispatch=True
+)
+
+# (submit-grid step, cpu seconds, io seconds, weight); the coarse grid
+# forces same-timestamp submission collisions, and 0.0 demands make
+# zero-work queries that complete instantly inside start().
+job_strategy = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.one_of(st.just(0.0), st.floats(min_value=1e-4, max_value=2.0)),
+    st.one_of(st.just(0.0), st.floats(min_value=1e-4, max_value=2.0)),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+
+
+def _run(jobs, config: EngineConfig) -> Tuple[List[Tuple[int, float]], str]:
+    """Run ``jobs`` on a fresh engine; return completions and a digest.
+
+    Completions are ``(job index, end time)`` in completion order; the
+    digest hashes the full-precision stream the way the perf scenarios
+    do, so "digests equal" means bit-identical trajectories.
+    """
+    sim = Simulator(seed=11)
+    engine = ExecutionEngine(sim, _MACHINE, config)
+    completions: List[Tuple[int, float]] = []
+    index_of = {}
+    engine.on_exit(
+        lambda query, outcome: completions.append(
+            (index_of[query.query_id], sim.now)
+        )
+    )
+
+    def start(job_index: int, cpu: float, io: float, weight: float) -> None:
+        query = make_query(cpu=cpu, io=io, mem=1.0)
+        query.transition(QueryState.SUBMITTED)
+        query.submit_time = sim.now
+        index_of[query.query_id] = job_index
+        engine.start(query, weight=weight)
+
+    for job_index, (step, cpu, io, weight) in enumerate(jobs):
+        sim.schedule(
+            step * 0.25,
+            lambda i=job_index, c=cpu, d=io, w=weight: start(i, c, d, w),
+            label=f"submit:{job_index}",
+        )
+    sim.run_until(10_000.0)
+    assert len(completions) == len(jobs), "every query must complete"
+
+    hasher = hashlib.sha256()
+    for job_index, end in completions:
+        hasher.update(struct.pack("<qd", job_index, end))
+    return completions, hasher.hexdigest()
+
+
+@given(jobs=st.lists(job_strategy, max_size=14))
+@settings(max_examples=80, deadline=None)
+def test_vectorized_advance_is_bit_identical_to_scalar(jobs):
+    """Vector sync/milestone paths + batching: same bits as the scalar
+    reference — completion order, completion times and digest."""
+    scalar, scalar_digest = _run(jobs, SCALAR_CONFIG)
+    vector, vector_digest = _run(jobs, VECTOR_ADVANCE_CONFIG)
+    assert vector == scalar  # exact float equality, in completion order
+    assert vector_digest == scalar_digest
+
+
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=24))
+@settings(max_examples=40, deadline=None)
+def test_vectorized_fill_matches_scalar_to_tolerance(jobs):
+    """The fully vectorized engine completes the same queries at times
+    equal to the scalar reference within solver tolerance."""
+    scalar, _ = _run(jobs, SCALAR_CONFIG)
+    vector, _ = _run(jobs, VECTOR_FILL_CONFIG)
+    assert len(vector) == len(scalar)
+    assert sorted(i for i, _ in vector) == sorted(i for i, _ in scalar)
+    end_scalar = dict(scalar)
+    for job_index, end in vector:
+        assert math.isclose(
+            end, end_scalar[job_index], rel_tol=1e-6, abs_tol=1e-6
+        ), f"job {job_index}: vectorized end {end} vs scalar {end_scalar[job_index]}"
+
+
+def test_same_timestamp_collision_batch_is_bit_identical():
+    """A full same-instant burst (the batch-dispatch hook path) stays
+    bit-identical with the vectorized advance enabled."""
+    jobs = [(0, 0.5 + 0.01 * i, 0.25 + 0.02 * i, 1.0 + 0.1 * i) for i in range(20)]
+    jobs += [(0, 0.0, 0.0, 1.0), (1, 0.0, 0.0, 2.0)]  # zero-work collisions
+    scalar, scalar_digest = _run(jobs, SCALAR_CONFIG)
+    vector, vector_digest = _run(jobs, VECTOR_ADVANCE_CONFIG)
+    assert vector == scalar
+    assert vector_digest == scalar_digest
