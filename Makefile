@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline bench-million bench-million-full profile equivalence artifacts lint
+.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline bench-matcher bench-matcher-full bench-million bench-million-full profile equivalence artifacts lint
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -34,6 +34,16 @@ bench-parallel:
 # Placement-path micro-bench: eligible-node caching win at 16+ nodes.
 bench-placement:
 	$(PY) -m benchmarks.perf.micro_placement
+
+# Push-vs-pull dispatch A/B at 64 nodes (heterogeneous speeds, churn
+# waves, flash crowd): digest + wall gates against the matcher section
+# of BENCH_core.json; writes the run's JSON for the CI bench artifact.
+bench-matcher:
+	$(PY) -m benchmarks.perf.matcher --mode ci --json-out bench-matcher.json
+
+# The EXPERIMENTS.md numbers: 64 and 256 nodes at the full horizon.
+bench-matcher-full:
+	$(PY) -m benchmarks.perf.matcher --mode full
 
 # CI-sized slice of the million-query macro-scenario: digest + wall
 # gates against the committed million_query section of BENCH_core.json;

@@ -36,6 +36,7 @@ SCENARIO_SEEDS = {
     "sla_polling": 13,
     "cluster": 19,
     "million_query": 23,
+    "matcher": 29,
 }
 
 

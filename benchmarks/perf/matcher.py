@@ -1,0 +1,243 @@
+"""Push-vs-pull dispatch bench: ``python -m benchmarks.perf.matcher``.
+
+Runs the matcher stress scenario (heterogeneous node speeds, three
+crash/recover churn waves, a 4x flash-crowd arrival burst) once per
+dispatch mode over the *same* seeded arrival stream, then reports
+per-workload p95 response times and the conservation counters side by
+side.  Because both modes share the clock, the speeds and the fault
+plan, any difference is purely *when work binds to capacity*: push
+commits each request to a node at arrival, pull parks it in the
+cluster :class:`~repro.cluster.taskqueue.TaskQueue` until a node with
+a free execution slot pulls it through the matcher.
+
+Two sizes are committed to the ``matcher`` section of
+``BENCH_core.json``:
+
+* ``ci`` — 64 nodes at a short horizon; digest-gated per mode plus a
+  wall-clock regression gate (``make bench-matcher``).
+* ``full`` — 64 and 256 nodes at the full 120 s horizon; digest-gated
+  only (the EXPERIMENTS.md numbers).
+
+Every run is also checked for conservation — completed + rejected +
+in-flight must equal arrivals — so the bench doubles as an invariant
+test under churn.  Exit status is non-zero when a gate fails;
+``--json-out`` writes the results for the CI bench artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    REGRESSION_FACTOR,
+    SCENARIO_SEEDS,
+    load_baseline,
+)
+from repro.cluster.dispatcher import DISPATCH_MODES
+from repro.parallel.tasks import run_matcher_task
+
+#: (nodes, horizon) per mode; ci is sized for the workflow's bench job.
+MODE_SIZES = {
+    "ci": ((64, 10.0),),
+    "full": ((64, 120.0), (256, 120.0)),
+}
+
+
+def run_pair(nodes: int, horizon: float, seed: int) -> List[Dict[str, object]]:
+    """Both dispatch modes over one seeded scenario; returns row dicts."""
+    rows: List[Dict[str, object]] = []
+    for dispatch in DISPATCH_MODES:
+        start = time.perf_counter()
+        result = run_matcher_task(
+            seed=seed, nodes=nodes, dispatch=dispatch, horizon=horizon
+        )
+        in_flight = (
+            int(result["arrivals"])
+            - int(result["completed"])
+            - int(result["rejected"])
+        )
+        rows.append(
+            {
+                "nodes": nodes,
+                "horizon": horizon,
+                "dispatch": dispatch,
+                "wall_s": round(time.perf_counter() - start, 3),
+                "arrivals": result["arrivals"],
+                "completed": result["completed"],
+                "rejected": result["rejected"],
+                "in_flight": in_flight,
+                "conserved": in_flight >= 0,
+                "response": result["response"],
+                "events": result["events"],
+                "digest": result["digest"],
+            }
+        )
+    return rows
+
+
+def run_bench(mode: str, seed: int) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for nodes, horizon in MODE_SIZES[mode]:
+        rows.extend(run_pair(nodes, horizon, seed))
+    return rows
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:8.3f}"
+
+
+def report(rows: List[Dict[str, object]]) -> None:
+    header = (
+        f"  {'nodes':>5} {'mode':<5} {'wall':>7} {'done':>7} {'rej':>5} "
+        f"{'infl':>5} {'oltp p95':>8} {'bi p95':>8}  digest"
+    )
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for row in rows:
+        response = row["response"]
+        oltp = response.get("oltp", {})
+        bi = response.get("bi", {})
+        print(
+            f"  {row['nodes']:>5} {row['dispatch']:<5} "
+            f"{row['wall_s']:>6.2f}s {row['completed']:>7} "
+            f"{row['rejected']:>5} {row['in_flight']:>5} "
+            f"{_fmt(oltp.get('p95'))} {_fmt(bi.get('p95'))}  "
+            f"{str(row['digest'])[:12]}…"
+        )
+
+
+def check_rows(
+    rows: List[Dict[str, object]],
+    baseline: Optional[Dict],
+    mode: str,
+    gate_wall: bool,
+) -> bool:
+    """Gate against the committed ``matcher`` section, plus conservation."""
+    ok = True
+    for row in rows:
+        if not row["conserved"]:
+            ok = False
+            print(
+                f"CONSERVATION BREAK: {row['dispatch']}@{row['nodes']} "
+                f"accounts for more queries than arrived "
+                f"(in_flight {row['in_flight']} < 0)"
+            )
+    committed = (baseline or {}).get("matcher", {}).get(mode)
+    if committed is None:
+        print(
+            f"no committed matcher/{mode} baseline at {BASELINE_PATH}; "
+            "run with --update-baseline"
+        )
+        return ok
+    by_key = {f"{r['dispatch']}@{r['nodes']}": r for r in rows}
+    for key, base in committed.items():
+        row = by_key.get(key)
+        if row is None:
+            ok = False
+            print(f"MISSING RUN: committed baseline has {key}, bench did not run it")
+            continue
+        if base.get("digest") != row["digest"]:
+            ok = False
+            print(
+                f"DETERMINISM BREAK: {key} digest {str(row['digest'])[:16]}… "
+                f"!= committed {str(base['digest'])[:16]}…"
+            )
+        for counter in ("arrivals", "completed", "rejected"):
+            if int(base.get(counter, -1)) != int(row[counter]):
+                ok = False
+                print(
+                    f"COUNT MISMATCH: {key} {counter} {row[counter]} "
+                    f"!= committed {base.get(counter)}"
+                )
+        base_wall = float(base.get("wall_s", 0.0))
+        if (
+            gate_wall
+            and base_wall > 0
+            and float(row["wall_s"]) > REGRESSION_FACTOR * base_wall
+        ):
+            ok = False
+            print(
+                f"PERF REGRESSION: {key} took {row['wall_s']:.3f}s vs "
+                f"committed {base_wall:.3f}s (>{REGRESSION_FACTOR:.1f}x)"
+            )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.matcher",
+        description="Push vs pull dispatch under heterogeneous speeds, "
+        "churn and a flash crowd; digest-gated against BENCH_core.json.",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=tuple(MODE_SIZES),
+        default="ci",
+        help="ci: 64 nodes, short horizon, digest + wall gates (default); "
+        "full: 64 and 256 nodes at the full horizon, digest-gated only",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the matcher section of BENCH_core.json with this "
+        "run instead of gating against it",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report without failing on digest/wall mismatches",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=str,
+        default=None,
+        help="also write this run's rows as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    seed = SCENARIO_SEEDS["matcher"]
+    print(f"matcher bench ({args.mode} mode, seed {seed}):")
+    rows = run_bench(args.mode, seed)
+    report(rows)
+
+    if args.json_out:
+        payload = {"mode": args.mode, "rows": rows}
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+
+    baseline = load_baseline()
+    if args.update_baseline:
+        baseline = baseline or {}
+        section = baseline.setdefault("matcher", {})
+        section[args.mode] = {
+            f"{row['dispatch']}@{row['nodes']}": {
+                "arrivals": row["arrivals"],
+                "completed": row["completed"],
+                "rejected": row["rejected"],
+                "wall_s": row["wall_s"],
+                "digest": row["digest"],
+            }
+            for row in rows
+        }
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline matcher/{args.mode} updated: {BASELINE_PATH}")
+        return 0
+
+    if args.no_gate:
+        return 0
+    ok = check_rows(rows, baseline, args.mode, gate_wall=args.mode == "ci")
+    print("gate: OK" if ok else "gate: FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

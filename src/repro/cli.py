@@ -77,8 +77,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         )
     print(
         f"Dispatching OLTP+BI across {args.nodes} nodes "
-        f"({args.policy} placement, seed {args.seed}, "
-        f"{args.horizon:.0f}s horizon)"
+        f"({args.policy} placement, {args.dispatch} dispatch, "
+        f"seed {args.seed}, {args.horizon:.0f}s horizon)"
         + (f", killing {args.kill_node} at t={args.kill_at:.0f}s" if plan else "")
         + "..."
     )
@@ -88,6 +88,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         policy=args.policy,
         horizon=args.horizon,
         fault_plan=plan,
+        dispatch=args.dispatch,
     )
     now = dispatcher.sim.now
     print()
@@ -121,6 +122,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         nodes=args.nodes,
         horizon=args.horizon,
         mpl=args.mpl,
+        dispatch=args.dispatch,
     )
     print()
     print(rollup_table(result))
@@ -164,6 +166,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
+    from repro.cluster.dispatcher import DISPATCH_MODES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Workload management in DBMSs: the executable taxonomy.",
@@ -208,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--recover-at", type=float, default=None,
         help="revive the killed node at this time",
     )
+    cluster.add_argument(
+        "--dispatch",
+        default="push",
+        choices=list(DISPATCH_MODES),
+        help="binding policy: push places on arrival, pull late-binds "
+        "through the task queue + matcher",
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     sweep = subparsers.add_parser(
@@ -236,6 +247,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--nodes", type=int, default=4)
     sweep.add_argument("--horizon", type=float, default=60.0)
     sweep.add_argument("--mpl", type=int, default=2)
+    sweep.add_argument(
+        "--dispatch",
+        default="push",
+        choices=list(DISPATCH_MODES),
+        help="binding policy for every run in the sweep",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     features = subparsers.add_parser("features", help="list feature names")

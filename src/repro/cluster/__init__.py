@@ -9,16 +9,29 @@ is the cluster-level workload manager — admission (bounded cluster
 queue), placement (pluggable policies from
 :mod:`repro.cluster.placement`: round-robin, least-outstanding,
 cost-balanced, SLA-aware greedy), and re-placement of locally rejected
-or crash-lost work (:mod:`repro.cluster.failover`).  Elastic
+or crash-lost work (:mod:`repro.cluster.failover`).  Dispatch itself is
+a pluggable binding policy: ``push`` places each request on a node at
+arrival, ``pull`` parks it in a :class:`~repro.cluster.taskqueue.TaskQueue`
+until a node with a free execution slot pulls matching work through the
+:class:`~repro.cluster.matcher.Matcher` (DIRAC-style late binding).
+Elastic
 provisioning (:mod:`repro.cluster.elastic`) reuses the §3.4 feedback
 controllers to grow and shrink the active node set, and
 :mod:`repro.cluster.metrics` rolls per-node statistics up into
 cluster-level views.
 """
 
-from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.dispatcher import (
+    DISPATCH_MODES,
+    BindingPolicy,
+    ClusterDispatcher,
+    PullBinding,
+    PushBinding,
+    make_binding,
+)
 from repro.cluster.elastic import ElasticProvisioner, ProvisioningDecision
 from repro.cluster.failover import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.cluster.matcher import Matcher
 from repro.cluster.metrics import ClusterMetrics, HealthChange, WorkloadRollup
 from repro.cluster.node import (
     NODE_MACHINE,
@@ -38,16 +51,24 @@ from repro.cluster.placement import (
 )
 from repro.cluster.scenario import (
     CLUSTER_SLAS,
+    HETEROGENEOUS_SPEEDS,
     build_cluster,
+    churn_plan,
     cluster_overload_scenario,
+    matcher_scenario,
     replicate_cluster_scenario,
     run_cluster_scenario,
+    run_matcher_scenario,
 )
+from repro.cluster.taskqueue import TaskEntry, TaskQueue
 
 __all__ = [
     "CLUSTER_SLAS",
+    "DISPATCH_MODES",
+    "HETEROGENEOUS_SPEEDS",
     "POLICY_NAMES",
     "NODE_MACHINE",
+    "BindingPolicy",
     "ClusterDispatcher",
     "ClusterMetrics",
     "ClusterNode",
@@ -59,17 +80,26 @@ __all__ = [
     "FaultPlan",
     "HealthChange",
     "LeastOutstandingPlacement",
+    "Matcher",
     "NodeHealth",
     "NodeHeartbeat",
     "PlacementPolicy",
     "ProvisioningDecision",
+    "PullBinding",
+    "PushBinding",
     "RoundRobinPlacement",
     "SLAAwarePlacement",
+    "TaskEntry",
+    "TaskQueue",
     "WorkloadRollup",
     "build_cluster",
+    "churn_plan",
     "cluster_overload_scenario",
+    "make_binding",
     "make_policy",
+    "matcher_scenario",
     "predict_response_time",
     "replicate_cluster_scenario",
     "run_cluster_scenario",
+    "run_matcher_scenario",
 ]

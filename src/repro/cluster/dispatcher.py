@@ -1,18 +1,30 @@
-"""The cluster dispatcher: admission, placement and re-placement.
+"""The cluster dispatcher: admission, binding and re-placement.
 
 The :class:`ClusterDispatcher` is the cluster-level control point — the
-DIRAC matcher / WiSeDB advisor of this simulator.  Every arriving
-request is placed onto one eligible node by a pluggable
-:class:`~repro.cluster.placement.PlacementPolicy`; when every node is
-saturated the request waits in a bounded cluster queue, and when that
-queue is full the cluster itself rejects (cluster-level admission
-control — the paper's §3.2 decision, one level up).
+DIRAC matcher / WiSeDB advisor of this simulator.  It owns the shared
+substrate every dispatch mode uses: request intake and conservation
+counters, the per-query exclusion sets, placement commit, node-local
+rejection interception, crash reclaim and the cluster metrics rollup.
+*When* work binds to a node is a pluggable **binding policy** — the
+paper's §3.2/§3.3 split between where decisions happen and when work
+binds to capacity:
 
-Recovery paths, both deterministic:
+* **push** (:class:`PushBinding`, the default) — the dispatcher picks a
+  node the moment a request arrives, via a
+  :class:`~repro.cluster.placement.PlacementPolicy`; saturated clusters
+  park arrivals in a bounded FIFO cluster queue retried on capacity
+  events (early binding, load-balancer shape);
+* **pull** (:class:`PullBinding`) — arrivals park in a priority-ordered
+  :class:`~repro.cluster.taskqueue.TaskQueue` and nodes pull matching
+  work through the :class:`~repro.cluster.matcher.Matcher` at the
+  moment they free an execution slot (late binding, DIRAC pilot shape).
+
+Both modes share recovery paths, all deterministic:
 
 * a node manager that *locally* rejects a request hands it back through
   the :meth:`~repro.core.manager.WorkloadManager.set_rejection_interceptor`
-  hook and the dispatcher re-places it on another node;
+  hook and the dispatcher re-binds it elsewhere (the refusing node is
+  excluded for that request);
 * queries lost to a node crash (killed in-flight, evacuated from its
   wait queue) are resubmitted through normal intake — the same
   record/resubmit lifecycle the replay machinery uses (KILLED →
@@ -21,12 +33,15 @@ Recovery paths, both deterministic:
 
 from __future__ import annotations
 
+import abc
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
 
+from repro.cluster.matcher import Matcher
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.node import ClusterNode, NodeHealth
 from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
+from repro.cluster.taskqueue import RequirementsFn, TaskQueue
 from repro.core.interfaces import AdmissionDecision
 from repro.core.sla import SLASet
 from repro.engine.query import Query, QueryState
@@ -35,6 +50,207 @@ from repro.engine.simulator import Simulator
 from repro.errors import ConfigurationError
 
 CompletionListener = Callable[[Query], None]
+
+#: Binding-policy names accepted by the ``dispatch`` parameter / CLI.
+DISPATCH_MODES = ("push", "pull")
+
+
+class BindingPolicy(abc.ABC):
+    """When queued work binds to node capacity (the push/pull seam).
+
+    A binding policy owns the cluster-level wait structure and decides
+    the binding moment; everything else — intake, commit, reclaim,
+    metrics — lives on the dispatcher substrate it is attached to.
+    """
+
+    name: str = "abstract"
+
+    def attach(self, dispatcher: "ClusterDispatcher") -> None:
+        self.dispatcher = dispatcher
+
+    @abc.abstractmethod
+    def route(self, query: Query) -> None:
+        """A request entered intake (arrival, re-entry or reclaim)."""
+
+    @abc.abstractmethod
+    def on_capacity(self, node: ClusterNode) -> None:
+        """``node`` freed a slot or came (back) up."""
+
+    @abc.abstractmethod
+    def sweep(self) -> None:
+        """Periodic tick: retry anything waiting at the cluster level."""
+
+    @property
+    @abc.abstractmethod
+    def queue_depth(self) -> int:
+        """Requests waiting at the cluster level."""
+
+    @abc.abstractmethod
+    def queued_queries(self) -> List[Query]:
+        """Snapshot of the cluster-level wait structure."""
+
+
+class PushBinding(BindingPolicy):
+    """Early binding: place on arrival, FIFO cluster queue as overflow."""
+
+    name = "push"
+
+    def __init__(self) -> None:
+        self.queue: Deque[Query] = deque()
+
+    # -- intake --------------------------------------------------------
+    def route(self, query: Query) -> None:
+        d = self.dispatcher
+        candidates = d._eligible_for(query)
+        if candidates:
+            node = d.placement.choose(query, candidates)
+            if node is not None:
+                d._place(query, node)
+                return
+        self._enqueue_or_reject(query)
+
+    def _enqueue_or_reject(self, query: Query) -> None:
+        d = self.dispatcher
+        if (
+            d.max_queue_depth is not None
+            and len(self.queue) >= d.max_queue_depth
+        ):
+            d._cluster_reject(query)
+            return
+        # waiting in the cluster queue wipes per-placement exclusions:
+        # by the time it is retried the refusing node may have capacity
+        d._excluded.pop(query.query_id, None)
+        self.queue.append(query)
+
+    # -- binding moments -----------------------------------------------
+    def on_capacity(self, node: ClusterNode) -> None:
+        self.drain()
+
+    def sweep(self) -> None:
+        self.drain()
+
+    def drain(self) -> None:
+        """Retry queued requests while any node will take them.
+
+        A blocked head no longer starves the tail: when the head's
+        placement comes back empty (its exclusions emptied the
+        candidate list, or the policy returned ``None``) the scan
+        moves past it — bounded to one look at each queued request, in
+        FIFO order, with blocked requests keeping their positions.
+        Only a cluster-wide lack of eligible nodes stops the scan,
+        because then no queued request can be placed at all.
+        """
+        d = self.dispatcher
+        blocked: List[Query] = []
+        for _ in range(len(self.queue)):
+            if not self.queue:
+                break
+            query = self.queue.popleft()
+            candidates = d._eligible_for(query)
+            node = (
+                d.placement.choose(query, candidates) if candidates else None
+            )
+            if node is None:
+                blocked.append(query)
+                if not d._eligible_for(None):
+                    break  # nothing can take anything; stop scanning
+                continue
+            d._place(query, node)
+        for query in reversed(blocked):
+            self.queue.appendleft(query)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    def queued_queries(self) -> List[Query]:
+        return list(self.queue)
+
+
+class PullBinding(BindingPolicy):
+    """Late binding: task queue + matcher, nodes pull at free slots."""
+
+    name = "pull"
+
+    def __init__(
+        self,
+        class_shares: Optional[Dict[str, float]] = None,
+        requirements_fn: Optional[RequirementsFn] = None,
+    ) -> None:
+        self._class_shares = class_shares
+        self._requirements_fn = requirements_fn
+        self.taskqueue: Optional[TaskQueue] = None
+        self.matcher: Optional[Matcher] = None
+
+    def attach(self, dispatcher: "ClusterDispatcher") -> None:
+        super().attach(dispatcher)
+        self.taskqueue = TaskQueue(
+            class_shares=self._class_shares,
+            requirements_fn=self._requirements_fn,
+        )
+        self.matcher = Matcher(
+            dispatcher.nodes,
+            self.taskqueue,
+            place=dispatcher._place,
+            excluded=lambda query, node: node.name
+            in dispatcher._excluded.get(query.query_id, ()),
+        )
+
+    # -- intake --------------------------------------------------------
+    def route(self, query: Query) -> None:
+        d = self.dispatcher
+        self.taskqueue.push(query, d.sim.now)
+        # an idle pilot's match request is always pending: fresh work
+        # binds immediately when any node has a free slot for it
+        self.matcher.offer()
+        if (
+            d.max_queue_depth is not None
+            and len(self.taskqueue) > d.max_queue_depth
+        ):
+            # nothing pulled it and the queue is over its bound: the
+            # *arriving* request is the one the cluster turns away
+            if self.taskqueue.remove(query.query_id) is not None:
+                d._cluster_reject(query)
+
+    # -- binding moments -----------------------------------------------
+    def on_capacity(self, node: ClusterNode) -> None:
+        self.matcher.pull(node)
+
+    def sweep(self) -> None:
+        # the poll cadence doubles as exclusion amnesty (the push-mode
+        # analogue wipes exclusions when a request enters the cluster
+        # queue): a node that refused a request under one load may take
+        # it a control period later
+        d = self.dispatcher
+        for query in self.taskqueue.queued_queries():
+            d._excluded.pop(query.query_id, None)
+        self.matcher.offer()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self.taskqueue)
+
+    def queued_queries(self) -> List[Query]:
+        return self.taskqueue.queued_queries()
+
+
+def make_binding(
+    dispatch: str,
+    class_shares: Optional[Dict[str, float]] = None,
+    requirements_fn: Optional[RequirementsFn] = None,
+) -> BindingPolicy:
+    """Build a binding policy from its short CLI name."""
+    if dispatch == "push":
+        return PushBinding()
+    if dispatch == "pull":
+        return PullBinding(
+            class_shares=class_shares, requirements_fn=requirements_fn
+        )
+    raise ConfigurationError(
+        f"unknown dispatch mode {dispatch!r}; one of {DISPATCH_MODES}"
+    )
 
 
 class ClusterDispatcher:
@@ -47,18 +263,27 @@ class ClusterDispatcher:
     nodes:
         The cluster's nodes in stable order (placement tie-break order).
     placement:
-        Placement policy; defaults to round-robin.
+        Placement policy for push mode; defaults to round-robin.
+        Ignored by pull mode, where the matcher binds work to whichever
+        node pulls it.
     max_queue_depth:
-        Bound on the cluster wait queue; ``None`` = unbounded (never
-        cluster-reject), ``0`` = reject the moment all nodes saturate.
+        Bound on the cluster wait structure; ``None`` = unbounded
+        (never cluster-reject), ``0`` = reject the moment no node can
+        take the arrival.
     control_period:
-        Seconds between dispatcher ticks (cluster-queue retry cadence).
+        Seconds between dispatcher ticks (queue retry / poll cadence).
     cache_eligible:
         Keep the eligible-node list cached between placements,
         invalidating only when a node's accepting bit flips (health
         transition or ``max_outstanding`` edge crossing).  On by
         default; disable to fall back to a full scan per placement
         (the A/B knob the placement micro-bench uses).
+    dispatch:
+        ``"push"`` (default) or ``"pull"``; alternatively pass a
+        pre-built :class:`BindingPolicy` via ``binding``.
+    binding:
+        Explicit binding policy instance (overrides ``dispatch``) —
+        how pull runs get custom class shares or requirement tags.
     """
 
     def __init__(
@@ -70,6 +295,8 @@ class ClusterDispatcher:
         max_queue_depth: Optional[int] = None,
         control_period: float = 1.0,
         cache_eligible: bool = True,
+        dispatch: str = "push",
+        binding: Optional[BindingPolicy] = None,
     ) -> None:
         if not nodes:
             raise ConfigurationError("a cluster needs at least one node")
@@ -85,7 +312,8 @@ class ClusterDispatcher:
         self.max_queue_depth = max_queue_depth
         self.metrics = ClusterMetrics(self.nodes)
         self.sessions = SessionRegistry()
-        self._queue: Deque[Query] = deque()
+        self.binding = binding if binding is not None else make_binding(dispatch)
+        self.binding.attach(self)
         self._listeners: List[CompletionListener] = []
         self._excluded: Dict[int, Set[str]] = {}  # query_id -> nodes that refused
         self.arrivals = 0
@@ -108,6 +336,11 @@ class ClusterDispatcher:
         self._ticker = sim.schedule_periodic(
             control_period, self._tick, label="cluster:tick"
         )
+
+    @property
+    def dispatch(self) -> str:
+        """The active binding-policy name (``"push"`` or ``"pull"``)."""
+        return self.binding.name
 
     # ------------------------------------------------------------------
     # client intake
@@ -143,8 +376,11 @@ class ClusterDispatcher:
         query.transition(QueryState.SUBMITTED)
         self._route(query)
 
+    def _route(self, query: Query) -> None:
+        self.binding.route(query)
+
     # ------------------------------------------------------------------
-    # placement
+    # eligibility (shared by push placement and the HOL scan)
     # ------------------------------------------------------------------
     def eligible_nodes(self, query: Optional[Query] = None) -> List[ClusterNode]:
         """UP, unsaturated nodes (minus any that refused this query)."""
@@ -177,32 +413,14 @@ class ClusterDispatcher:
             return [node for node in eligible if node.name not in excluded]
         return eligible
 
-    def _route(self, query: Query) -> None:
-        candidates = self._eligible_for(query)
-        if candidates:
-            node = self.placement.choose(query, candidates)
-            if node is not None:
-                self._place(query, node)
-                return
-        self._enqueue_or_reject(query)
-
+    # ------------------------------------------------------------------
+    # placement commit + cluster rejection (shared substrate)
+    # ------------------------------------------------------------------
     def _place(self, query: Query, node: ClusterNode) -> None:
         self.metrics.record_placement(node)
         node.submit(query)
         # a synchronous node-local rejection re-routes via the
         # interceptor before node.submit returns; nothing more to do
-
-    def _enqueue_or_reject(self, query: Query) -> None:
-        if (
-            self.max_queue_depth is not None
-            and len(self._queue) >= self.max_queue_depth
-        ):
-            self._cluster_reject(query)
-            return
-        # waiting in the cluster queue wipes per-placement exclusions:
-        # by the time it is retried the refusing node may have capacity
-        self._excluded.pop(query.query_id, None)
-        self._queue.append(query)
 
     def _cluster_reject(self, query: Query) -> None:
         self._excluded.pop(query.query_id, None)
@@ -212,28 +430,13 @@ class ClusterDispatcher:
         self.metrics.record_cluster_rejection(query)
         self._notify(query)
 
-    def _drain_queue(self) -> None:
-        """Retry queued requests while any node will take them."""
-        for _ in range(len(self._queue)):
-            if not self._queue:
-                return
-            query = self._queue[0]
-            candidates = self._eligible_for(query)
-            if not candidates:
-                return
-            node = self.placement.choose(query, candidates)
-            if node is None:
-                return
-            self._queue.popleft()
-            self._place(query, node)
-
     # ------------------------------------------------------------------
     # node feedback
     # ------------------------------------------------------------------
     def _intercept_rejection(
         self, node: ClusterNode, query: Query, decision: AdmissionDecision
     ) -> bool:
-        """A node's local admission refused: reclaim and re-place."""
+        """A node's local admission refused: reclaim and re-bind."""
         node.release(query)
         if query.state is QueryState.QUEUED:  # refused from a delayed retry
             query.transition(QueryState.SUBMITTED)
@@ -251,7 +454,7 @@ class ClusterDispatcher:
                 self.completions += 1
             self._excluded.pop(query.query_id, None)
             self._notify(query)
-        self._drain_queue()
+        self.binding.on_capacity(node)
 
     # ------------------------------------------------------------------
     # fault handling (used by repro.cluster.failover)
@@ -277,7 +480,7 @@ class ClusterDispatcher:
         for query_id in list(engine.running_ids()):
             engine.kill(query_id)
             reclaimed += 1
-        self._drain_queue()
+        self.binding.sweep()
         return reclaimed
 
     def drain_node(self, node: ClusterNode) -> None:
@@ -287,10 +490,14 @@ class ClusterDispatcher:
     def activate_node(self, node: ClusterNode) -> None:
         node.activate()
         self.metrics.record_health(self.sim.now, node)
-        self._drain_queue()
+        self.binding.on_capacity(node)
 
     def degrade_node(self, node: ClusterNode, factor: float) -> None:
         node.degrade(factor)
+        self.metrics.record_health(self.sim.now, node)
+
+    def restore_node_speed(self, node: ClusterNode) -> None:
+        node.restore_speed()
         self.metrics.record_health(self.sim.now, node)
 
     def node(self, name: str) -> ClusterNode:
@@ -304,13 +511,22 @@ class ClusterDispatcher:
     # ------------------------------------------------------------------
     @property
     def cluster_queue_depth(self) -> int:
-        return len(self._queue)
+        return self.binding.queue_depth
+
+    @property
+    def _queue(self):
+        """Back-compat view of the push binding's FIFO cluster queue."""
+        if isinstance(self.binding, PushBinding):
+            return self.binding.queue
+        return self.binding.queued_queries()
 
     def active_nodes(self) -> List[ClusterNode]:
         return [n for n in self.nodes if n.health is NodeHealth.UP]
 
     def outstanding_work(self) -> int:
-        return len(self._queue) + sum(n.outstanding_work for n in self.nodes)
+        return self.binding.queue_depth + sum(
+            n.outstanding_work for n in self.nodes
+        )
 
     def add_completion_listener(self, listener: CompletionListener) -> None:
         """Called for every client-visible terminal outcome."""
@@ -321,7 +537,7 @@ class ClusterDispatcher:
             listener(query)
 
     def _tick(self) -> None:
-        self._drain_queue()
+        self.binding.sweep()
 
     def shutdown(self) -> None:
         """Stop all periodic processes so the simulator can drain."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.interfaces import AdmissionController, Scheduler
 from repro.core.manager import FCFSDispatcher, WorkloadManager
@@ -86,6 +86,13 @@ class ClusterNode:
         Defaults to ``4 * mpl`` (a bounded node-local backlog).
     health:
         Initial health; STANDBY spares join via :meth:`activate`.
+    tags:
+        Static capability tags (e.g. ``("big-memory", "ssd")``) matched
+        against task-queue requirement tags in pull dispatch.
+    speed_factor:
+        Initial service speed in (0, 1]; values below 1 model a
+        permanently slower machine (heterogeneous clusters).  Runtime
+        slowdowns use :meth:`degrade` / :meth:`restore_speed`.
     """
 
     def __init__(
@@ -102,9 +109,15 @@ class ClusterNode:
         control_period: float = 1.0,
         heartbeat_period: float = 1.0,
         health: NodeHealth = NodeHealth.UP,
+        tags: Iterable[str] = (),
+        speed_factor: float = 1.0,
     ) -> None:
         if mpl < 1:
             raise ConfigurationError(f"node mpl must be >= 1, got {mpl}")
+        if not 0.0 < speed_factor <= 1.0:
+            raise ConfigurationError(
+                f"speed_factor must be in (0,1], got {speed_factor}"
+            )
         self.name = name
         self.sim = sim
         self.scope = sim.scoped(f"node:{name}")
@@ -121,7 +134,9 @@ class ClusterNode:
             control_period=control_period,
         )
         self.health = health
-        self.speed_factor = 1.0          # < 1.0 models a degraded (slow) node
+        self.tags = frozenset(tags)
+        self.base_speed_factor = speed_factor   # what restore/activate return to
+        self.speed_factor = speed_factor        # < 1.0 models a slow node
         self.heartbeat_period = heartbeat_period
         self.heartbeats: List[NodeHeartbeat] = []
         self.placed_count = 0
@@ -176,6 +191,19 @@ class ClusterNode:
             self.health.accepts_placements
             and self.outstanding_work < self.max_outstanding
         )
+
+    @property
+    def capabilities(self) -> FrozenSet[str]:
+        """What this node offers to capability matching (pull dispatch).
+
+        The static :attr:`tags` plus the derived ``speed:full`` tag,
+        present only while the node runs at full speed — so task-queue
+        entries requiring ``speed:full`` stop matching a degraded node
+        the instant it slows down.
+        """
+        if self.speed_factor >= 1.0:
+            return self.tags | {"speed:full"}
+        return self.tags
 
     def on_accepting_change(
         self, listener: Callable[["ClusterNode"], None]
@@ -243,7 +271,7 @@ class ClusterNode:
         """Bring a STANDBY / DRAINING / recovered node (back) into service."""
         was_stopped = self.health in (NodeHealth.STANDBY, NodeHealth.DOWN)
         self.health = NodeHealth.UP
-        self.speed_factor = 1.0
+        self.speed_factor = self.base_speed_factor
         if was_stopped:
             self.manager.resume_ticks()
             self._heartbeat_proc = self.scope.schedule_periodic(
@@ -254,15 +282,37 @@ class ClusterNode:
         self._recheck_accepting()
 
     def degrade(self, factor: float) -> None:
-        """Slow the node to ``factor`` of full speed (fault injection)."""
+        """Slow the node to ``factor`` of full speed (fault injection).
+
+        On a DOWN or STANDBY node this is a documented **no-op**: the
+        node's manager is shut down (throttling its engine would touch
+        a dead server), it holds no placements a slowdown could affect,
+        and :meth:`activate` resets speed anyway.  Chaos plans may
+        therefore race a degrade against a crash without blowing up the
+        run.  DRAINING nodes still run work, so they do degrade.
+        """
         if not 0.0 < factor <= 1.0:
             raise ConfigurationError(f"degrade factor must be in (0,1], got {factor}")
+        if not self.serviceable:
+            return
         self.speed_factor = factor
         self._enforce_speed()
 
     def restore_speed(self) -> None:
-        self.speed_factor = 1.0
+        """Undo :meth:`degrade` (no-op on DOWN/STANDBY, like degrade)."""
+        if not self.serviceable:
+            return
+        self.speed_factor = self.base_speed_factor
         self._enforce_speed()
+
+    @property
+    def serviceable(self) -> bool:
+        """True while the node's manager is live (UP or DRAINING).
+
+        DOWN and STANDBY nodes have a shut-down manager: speed changes
+        against them are no-ops by contract.
+        """
+        return self.health in (NodeHealth.UP, NodeHealth.DRAINING)
 
     def _enforce_speed(self) -> None:
         engine = self.manager.engine

@@ -13,15 +13,22 @@ deterministic code path.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.dispatcher import ClusterDispatcher
-from repro.cluster.failover import FaultInjector, FaultPlan
+from repro.cluster.failover import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+)
 from repro.cluster.node import NODE_MACHINE, ClusterNode, NodeHealth
 from repro.cluster.placement import make_policy
 from repro.core.sla import SLASet, response_time_sla
 from repro.engine.resources import MachineSpec
 from repro.engine.simulator import Simulator
+from repro.workloads.models import OpenArrivals
 from repro.workloads.generator import (
     Scenario,
     WorkloadGenerator,
@@ -51,8 +58,18 @@ def build_cluster(
     control_period: float = 1.0,
     heartbeat_period: float = 1.0,
     cache_eligible: bool = True,
+    dispatch: str = "push",
+    speed_factors: Optional[Sequence[float]] = None,
 ) -> ClusterDispatcher:
-    """A homogeneous cluster of ``nodes`` active + ``standby`` spares."""
+    """A cluster of ``nodes`` active + ``standby`` spares.
+
+    ``speed_factors`` makes the cluster heterogeneous: node ``i`` runs
+    at ``speed_factors[i % len(speed_factors)]`` of full speed (the
+    deterministic speed assignment the matcher benchmarks use).
+    ``dispatch`` selects the binding policy — ``"push"`` places on
+    arrival through ``policy``, ``"pull"`` late-binds through the task
+    queue + matcher.
+    """
     slas = CLUSTER_SLAS if slas is None else slas
     cluster_nodes = [
         ClusterNode(
@@ -64,6 +81,11 @@ def build_cluster(
             control_period=control_period,
             heartbeat_period=heartbeat_period,
             health=NodeHealth.UP if index < nodes else NodeHealth.STANDBY,
+            speed_factor=(
+                speed_factors[index % len(speed_factors)]
+                if speed_factors
+                else 1.0
+            ),
         )
         for index in range(nodes + standby)
     ]
@@ -75,6 +97,7 @@ def build_cluster(
         max_queue_depth=max_queue_depth,
         control_period=control_period,
         cache_eligible=cache_eligible,
+        dispatch=dispatch,
     )
 
 
@@ -123,6 +146,7 @@ def run_cluster_scenario(
     fault_plan: Optional[FaultPlan] = None,
     sim: Optional[Simulator] = None,
     cache_eligible: bool = True,
+    dispatch: str = "push",
 ) -> ClusterDispatcher:
     """Run the canonical cluster demo end to end; returns the dispatcher.
 
@@ -137,6 +161,7 @@ def run_cluster_scenario(
         mpl=mpl,
         max_queue_depth=max_queue_depth,
         cache_eligible=cache_eligible,
+        dispatch=dispatch,
     )
     scenario = cluster_overload_scenario(
         horizon=horizon, oltp_rate=oltp_rate, bi_rate=bi_rate
@@ -151,6 +176,141 @@ def run_cluster_scenario(
         injector.arm(fault_plan)
         dispatcher.injector = injector
     dispatcher.run(horizon, drain=horizon if drain is None else drain)
+    return dispatcher
+
+
+# ----------------------------------------------------------------------
+# the matcher scenario: push vs pull at 64-256 nodes under stress
+# ----------------------------------------------------------------------
+
+#: Deterministic heterogeneous speed assignment: every fourth node is
+#: markedly slow, another quarter mildly slow — the mix where early
+#: binding hurts (work committed to a slow node waits out its backlog)
+#: and late binding shines (slow nodes simply pull less often).
+HETEROGENEOUS_SPEEDS = (1.0, 1.0, 0.7, 0.4)
+
+
+def churn_plan(
+    nodes: int,
+    horizon: float,
+    waves: int = 3,
+    kill_fraction: float = 0.125,
+    outage: float = 0.15,
+) -> FaultPlan:
+    """Deterministic crash/recover waves over an ``nodes``-wide cluster.
+
+    ``waves`` evenly spaced crash waves each take out a rotating
+    ``kill_fraction`` slice of the cluster for ``outage`` of the
+    horizon, then revive it — a pure function of (nodes, horizon,
+    waves), so churn runs are as digest-stable as clean ones.
+    """
+    events = []
+    kill_count = max(1, int(nodes * kill_fraction))
+    for wave in range(waves):
+        at = horizon * (wave + 1) / (waves + 1)
+        recover_at = min(horizon * 0.98, at + outage * horizon)
+        for slot in range(kill_count):
+            victim = (wave * kill_count + slot) % nodes
+            events.append(FaultEvent(at, f"n{victim}", FaultKind.CRASH))
+            events.append(FaultEvent(recover_at, f"n{victim}", FaultKind.RECOVER))
+    return FaultPlan(tuple(events))
+
+
+def matcher_scenario(
+    horizon: float = 120.0,
+    nodes: int = 64,
+    oltp_rate_per_node: float = 6.0,
+    bi_rate: float = 1.0,
+    flash_start: float = 0.35,
+    flash_end: float = 0.5,
+    flash_multiplier: float = 4.0,
+) -> Scenario:
+    """The push-vs-pull stress mix: steady load plus a flash crowd.
+
+    A per-node-scaled OLTP stream runs at ``oltp_rate_per_node x
+    nodes``; between ``flash_start`` and ``flash_end`` (fractions of
+    the horizon) the rate jumps by ``flash_multiplier`` — the arrival
+    burst that floods whatever queue structure the binding policy
+    keeps.  A BI stream of multi-second scans rides along so per-class
+    shares and slow-node binding both matter.
+    """
+    base_rate = oltp_rate_per_node * nodes
+    oltp = oltp_workload(rate=base_rate, priority=3)
+    oltp = replace(
+        oltp,
+        arrivals=OpenArrivals(
+            rate=base_rate,
+            phases=(
+                (flash_start * horizon, base_rate * flash_multiplier),
+                (flash_end * horizon, base_rate),
+            ),
+        ),
+    )
+    return Scenario(
+        specs=(
+            oltp,
+            bi_workload(
+                rate=bi_rate,
+                priority=1,
+                median_cpu=4.0,
+                median_io=7.0,
+                sigma=0.8,
+                memory_low=150.0,
+                memory_high=500.0,
+            ),
+        ),
+        horizon=horizon,
+    )
+
+
+def run_matcher_scenario(
+    seed: int = 42,
+    nodes: int = 64,
+    dispatch: str = "pull",
+    policy: str = "cost",
+    horizon: float = 120.0,
+    drain: Optional[float] = None,
+    mpl: int = 2,
+    oltp_rate_per_node: float = 6.0,
+    bi_rate: float = 1.0,
+    churn: bool = True,
+    heterogeneous: bool = True,
+    max_queue_depth: Optional[int] = None,
+) -> ClusterDispatcher:
+    """Run the 64-256 node matcher stress scenario; returns the dispatcher.
+
+    One code path drives both binding policies (``dispatch="push"`` or
+    ``"pull"``) over the same arrival stream, node speeds and churn
+    plan, so push-vs-pull comparisons differ *only* in when work binds
+    to capacity.  Used by ``make bench-matcher``, the ``--dispatch``
+    CLI knob and the conservation property tests.
+    """
+    sim = Simulator(seed=seed)
+    dispatcher = build_cluster(
+        sim,
+        nodes=nodes,
+        policy=policy,
+        mpl=mpl,
+        max_queue_depth=max_queue_depth,
+        dispatch=dispatch,
+        speed_factors=HETEROGENEOUS_SPEEDS if heterogeneous else None,
+    )
+    scenario = matcher_scenario(
+        horizon=horizon,
+        nodes=nodes,
+        oltp_rate_per_node=oltp_rate_per_node,
+        bi_rate=bi_rate,
+    )
+    generator: WorkloadGenerator = scenario.build(
+        sim, dispatcher.submit, sessions=dispatcher.sessions
+    )
+    dispatcher.add_completion_listener(generator.notify_done)
+    dispatcher.generator = generator
+    if churn:
+        injector = FaultInjector(dispatcher)
+        injector.arm(churn_plan(nodes, horizon))
+        dispatcher.injector = injector
+    dispatcher.run(horizon, drain=2.0 * horizon if drain is None else drain)
     return dispatcher
 
 

@@ -27,6 +27,7 @@ def policy_sweep_spec(
     mpl: int = 2,
     oltp_rate: float = 30.0,
     bi_rate: float = 0.3,
+    dispatch: str = "push",
 ) -> SweepSpec:
     """A placement-policy × seed grid over the cluster scenario."""
     unknown = [p for p in policies if p not in POLICY_NAMES]
@@ -44,6 +45,7 @@ def policy_sweep_spec(
             "mpl": mpl,
             "oltp_rate": oltp_rate,
             "bi_rate": bi_rate,
+            "dispatch": dispatch,
         },
     )
 

@@ -92,42 +92,15 @@ def _percentile(values: List[float], q: float) -> Optional[float]:
     return ordered[index]
 
 
-@register_task("cluster")
-def run_cluster_task(
-    seed: int = 42,
-    nodes: int = 4,
-    policy: str = "cost",
-    horizon: float = 60.0,
-    drain: Optional[float] = None,
-    oltp_rate: float = 30.0,
-    bi_rate: float = 0.3,
-    mpl: int = 2,
-    max_queue_depth: Optional[int] = None,
-) -> Dict[str, object]:
-    """One seeded cluster run (the EXP18 scenario), summarized.
+def _summarize_dispatcher(dispatcher) -> Dict[str, object]:
+    """Picklable rollup of a finished cluster run.
 
-    Returns conservation counters, cluster-wide per-workload response
-    aggregates and the run's :func:`dispatcher digest
-    <repro.parallel.digest.dispatcher_digest>` — everything the sweep
-    rollup and the determinism check need, nothing that can't pickle.
+    Aggregates each workload's response times across all nodes; the
+    multiset is order-independent, so sorting makes the reduction
+    deterministic regardless of node iteration details.
     """
-    from repro.cluster.scenario import run_cluster_scenario
     from repro.parallel.digest import dispatcher_digest
 
-    dispatcher = run_cluster_scenario(
-        seed=seed,
-        nodes=nodes,
-        policy=policy,
-        horizon=horizon,
-        drain=drain,
-        oltp_rate=oltp_rate,
-        bi_rate=bi_rate,
-        mpl=mpl,
-        max_queue_depth=max_queue_depth,
-    )
-    # Aggregate each workload's response times across all nodes; the
-    # multiset is order-independent, so sorting makes the reduction
-    # deterministic regardless of node iteration details.
     by_workload: Dict[str, List[float]] = {}
     for node in dispatcher.nodes:
         metrics = node.manager.metrics
@@ -144,9 +117,7 @@ def run_cluster_task(
             "p95": _percentile(ordered, 95.0),
         }
     return {
-        "seed": seed,
-        "policy": policy,
-        "nodes": nodes,
+        "dispatch": dispatcher.dispatch,
         "arrivals": dispatcher.arrivals,
         "completed": dispatcher.completions,
         "rejected": dispatcher.rejections,
@@ -156,3 +127,81 @@ def run_cluster_task(
         "response": response,
         "digest": dispatcher_digest(dispatcher),
     }
+
+
+@register_task("cluster")
+def run_cluster_task(
+    seed: int = 42,
+    nodes: int = 4,
+    policy: str = "cost",
+    horizon: float = 60.0,
+    drain: Optional[float] = None,
+    oltp_rate: float = 30.0,
+    bi_rate: float = 0.3,
+    mpl: int = 2,
+    max_queue_depth: Optional[int] = None,
+    dispatch: str = "push",
+) -> Dict[str, object]:
+    """One seeded cluster run (the EXP18 scenario), summarized.
+
+    Returns conservation counters, cluster-wide per-workload response
+    aggregates and the run's :func:`dispatcher digest
+    <repro.parallel.digest.dispatcher_digest>` — everything the sweep
+    rollup and the determinism check need, nothing that can't pickle.
+    """
+    from repro.cluster.scenario import run_cluster_scenario
+
+    dispatcher = run_cluster_scenario(
+        seed=seed,
+        nodes=nodes,
+        policy=policy,
+        horizon=horizon,
+        drain=drain,
+        oltp_rate=oltp_rate,
+        bi_rate=bi_rate,
+        mpl=mpl,
+        max_queue_depth=max_queue_depth,
+        dispatch=dispatch,
+    )
+    summary = _summarize_dispatcher(dispatcher)
+    summary.update({"seed": seed, "policy": policy, "nodes": nodes})
+    return summary
+
+
+@register_task("matcher")
+def run_matcher_task(
+    seed: int = 42,
+    nodes: int = 64,
+    dispatch: str = "pull",
+    policy: str = "cost",
+    horizon: float = 120.0,
+    drain: Optional[float] = None,
+    mpl: int = 2,
+    oltp_rate_per_node: float = 6.0,
+    bi_rate: float = 1.0,
+    churn: bool = True,
+    heterogeneous: bool = True,
+) -> Dict[str, object]:
+    """One seeded matcher stress run (push vs pull), summarized.
+
+    Same rollup shape as the ``cluster`` task; the sweep-level digest
+    combine over these is what the worker-count-stability tests pin.
+    """
+    from repro.cluster.scenario import run_matcher_scenario
+
+    dispatcher = run_matcher_scenario(
+        seed=seed,
+        nodes=nodes,
+        dispatch=dispatch,
+        policy=policy,
+        horizon=horizon,
+        drain=drain,
+        mpl=mpl,
+        oltp_rate_per_node=oltp_rate_per_node,
+        bi_rate=bi_rate,
+        churn=churn,
+        heterogeneous=heterogeneous,
+    )
+    summary = _summarize_dispatcher(dispatcher)
+    summary.update({"seed": seed, "policy": policy, "nodes": nodes})
+    return summary

@@ -38,6 +38,28 @@ def _as_controller(mpl: MplLike) -> MplController:
     return StaticMpl(mpl)
 
 
+def _attach_mpl_feedback(
+    scheduler: Scheduler, mpl: MplController, context: ManagerContext
+) -> None:
+    """Register the engine-exit → ``mpl.notify_completion`` feedback once.
+
+    ``attach`` runs again whenever a scheduler is re-attached (manager
+    rebuild, scheduler swap, node reactivation).  Registering a fresh
+    listener each time would double-count completions in dynamic MPL
+    controllers (:class:`~repro.scheduling.mpl.FeedbackMpl` would see
+    2x, 3x… throughput), so the engines already hooked are remembered
+    and only a *new* engine gets a listener.
+    """
+    hooked = getattr(scheduler, "_mpl_hooked_engines", None)
+    if hooked is None:
+        hooked = scheduler._mpl_hooked_engines = []
+    engine = context.engine
+    if any(seen is engine for seen in hooked):
+        return
+    hooked.append(engine)
+    engine.on_exit(lambda q, o: mpl.notify_completion())
+
+
 class _QueueSchedulerBase(Scheduler):
     """Shared machinery: a reorderable queue + an MPL controller."""
 
@@ -48,8 +70,9 @@ class _QueueSchedulerBase(Scheduler):
 
     # -- Scheduler interface -------------------------------------------
     def attach(self, context: ManagerContext) -> None:
+        """Idempotent per engine: safe to call on every re-attach."""
         self.mpl.attach(context)
-        context.engine.on_exit(lambda q, o: self.mpl.notify_completion())
+        _attach_mpl_feedback(self, self.mpl, context)
 
     def enqueue(self, query: Query, context: ManagerContext) -> None:
         self._insert(query)
@@ -165,8 +188,9 @@ class MultiQueueScheduler(Scheduler):
         self.dispatched_count = 0
 
     def attach(self, context: ManagerContext) -> None:
+        """Idempotent per engine: safe to call on every re-attach."""
         self.global_mpl.attach(context)
-        context.engine.on_exit(lambda q, o: self.global_mpl.notify_completion())
+        _attach_mpl_feedback(self, self.global_mpl, context)
 
     def _workload_key(self, query: Query) -> str:
         return query.workload_name or "<unassigned>"

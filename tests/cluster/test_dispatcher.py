@@ -147,6 +147,58 @@ class TestNodeLocalRejectionReplacement:
         assert heavy.state is QueryState.SUBMITTED
 
 
+class TestHeadOfLineBlocking:
+    def test_picky_head_does_not_starve_placeable_tail(self):
+        """Regression: a queued head no placement will take used to stop
+        the drain scan cold, starving requests behind it that any node
+        would have accepted."""
+        from repro.cluster.placement import PlacementPolicy
+
+        class NoBiPlacement(PlacementPolicy):
+            # a custom policy may return None for work it won't place
+            def choose(self, query, candidates):
+                if query.sql.startswith("bi:"):
+                    return None
+                return candidates[0] if candidates else None
+
+        sim = Simulator(seed=5)
+        node = ClusterNode(sim, name="n0", mpl=1, max_outstanding=1)
+        dispatcher = ClusterDispatcher(sim, [node], placement=NoBiPlacement())
+        blocker = make_query(cpu=5.0, io=0.0, sql="oltp:first")
+        picky = make_query(cpu=1.0, io=0.0, sql="bi:head")
+        tail = make_query(cpu=1.0, io=0.0, sql="oltp:tail")
+        dispatcher.submit(blocker)  # saturates the node
+        dispatcher.submit(picky)  # queues; never placeable
+        dispatcher.submit(tail)  # queues behind the picky head
+        assert dispatcher.cluster_queue_depth == 2
+        dispatcher.run(10.0, drain=60.0)
+        # the tail was placed and completed even though the head never was
+        assert tail.state is QueryState.COMPLETED
+        assert picky.state is QueryState.SUBMITTED
+        assert dispatcher.cluster_queue_depth == 1
+        assert dispatcher.completions == 2
+
+    def test_blocked_head_keeps_its_queue_position(self):
+        from repro.cluster.placement import PlacementPolicy
+
+        class NoBiPlacement(PlacementPolicy):
+            def choose(self, query, candidates):
+                if query.sql.startswith("bi:"):
+                    return None
+                return candidates[0] if candidates else None
+
+        sim = Simulator(seed=5)
+        node = ClusterNode(sim, name="n0", mpl=1, max_outstanding=1)
+        dispatcher = ClusterDispatcher(sim, [node], placement=NoBiPlacement())
+        dispatcher.submit(make_query(cpu=50.0, io=0.0, sql="oltp:run"))
+        picky = make_query(cpu=1.0, io=0.0, sql="bi:head")
+        tail = make_query(cpu=1.0, io=0.0, sql="oltp:tail")
+        dispatcher.submit(picky)
+        dispatcher.submit(tail)
+        dispatcher.binding.drain()  # scan while the node is saturated
+        assert dispatcher.binding.queued_queries() == [picky, tail]
+
+
 class TestDraining:
     def test_draining_node_finishes_but_takes_nothing_new(self):
         sim, dispatcher = _cluster(count=2, policy="round-robin")

@@ -86,6 +86,69 @@ class TestCapacityAccounting:
             ClusterNode(sim, name="bad", mpl=0)
 
 
+class TestSpeedChangeGuards:
+    """degrade()/restore_speed() are documented no-ops off UP/DRAINING.
+
+    Regression: both used to call ``_enforce_speed`` unconditionally,
+    poking a shut-down manager when a chaos plan raced a degrade
+    against a crash.
+    """
+
+    def test_degrade_is_noop_on_down_node(self, sim):
+        node = _node(sim)
+        node.crash()
+        node.degrade(0.5)
+        assert node.speed_factor == 1.0
+        assert not node.serviceable
+
+    def test_restore_is_noop_on_down_node(self, sim):
+        node = _node(sim)
+        node.degrade(0.5)
+        node.crash()
+        node.restore_speed()
+        assert node.speed_factor == 0.5  # untouched until reactivation
+
+    def test_degrade_is_noop_on_standby_node(self, sim):
+        node = _node(sim, health=NodeHealth.STANDBY)
+        node.degrade(0.5)
+        assert node.speed_factor == 1.0
+
+    def test_invalid_factor_still_raises_on_down_node(self, sim):
+        node = _node(sim)
+        node.crash()
+        with pytest.raises(ConfigurationError):
+            node.degrade(0.0)
+
+    def test_degrade_works_while_draining(self, sim):
+        node = _node(sim)
+        node.drain()
+        assert node.serviceable
+        node.degrade(0.5)
+        assert node.speed_factor == 0.5
+
+    def test_activate_restores_base_speed_factor(self, sim):
+        node = _node(sim, speed_factor=0.7)
+        node.degrade(0.3)
+        node.crash()
+        node.activate()
+        # back to its *configured* speed, not full speed
+        assert node.speed_factor == 0.7
+
+    def test_capabilities_track_speed(self, sim):
+        node = _node(sim, tags=("big-memory",))
+        assert node.capabilities == {"big-memory", "speed:full"}
+        node.degrade(0.5)
+        assert node.capabilities == {"big-memory"}
+        node.restore_speed()
+        assert "speed:full" in node.capabilities
+
+    def test_speed_factor_validated(self, sim):
+        with pytest.raises(ConfigurationError):
+            ClusterNode(sim, name="bad", speed_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            ClusterNode(sim, name="bad", speed_factor=1.5)
+
+
 class TestDegradedExecution:
     def test_degraded_node_runs_slower(self):
         def completion_time(factor):

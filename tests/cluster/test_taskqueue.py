@@ -1,0 +1,120 @@
+"""TaskQueue unit tests: ordering, shares, tags, removal, determinism."""
+
+import pytest
+
+from repro.cluster.taskqueue import NO_REQUIREMENTS, TaskQueue
+
+from tests.conftest import make_query
+
+ALL = frozenset({"speed:full"})
+
+
+def _push(queue, n=1, now=0.0, **query_kwargs):
+    queries = [make_query(**query_kwargs) for _ in range(n)]
+    for query in queries:
+        queue.push(query, now)
+    return queries
+
+
+class TestOrdering:
+    def test_fifo_within_a_priority_level(self):
+        queue = TaskQueue()
+        queries = _push(queue, n=3, sql="oltp:q", priority=2)
+        popped = [queue.match(ALL).query for _ in range(3)]
+        assert popped == queries
+
+    def test_higher_priority_first(self):
+        queue = TaskQueue()
+        low = _push(queue, sql="oltp:q", priority=1)[0]
+        high = _push(queue, sql="oltp:q", priority=5)[0]
+        assert queue.match(ALL).query is high
+        assert queue.match(ALL).query is low
+
+    def test_empty_queue_matches_nothing(self):
+        queue = TaskQueue()
+        assert queue.match(ALL) is None
+        assert len(queue) == 0
+
+    def test_class_key_from_workload_then_sql_prefix(self):
+        queue = TaskQueue()
+        tagged = make_query(sql="select 1", workload="bi")
+        prefixed = make_query(sql="oltp:q1")
+        bare = make_query(sql="select 2")
+        for query in (tagged, prefixed, bare):
+            queue.push(query, 0.0)
+        assert queue.class_depths() == {
+            "<unassigned>": 1,
+            "bi": 1,
+            "oltp": 1,
+        }
+
+
+class TestShares:
+    def test_shares_split_dispatches_under_contention(self):
+        queue = TaskQueue(class_shares={"oltp": 3.0, "bi": 1.0})
+        _push(queue, n=30, sql="oltp:q")
+        _push(queue, n=30, sql="bi:q")
+        first_12 = [queue.match(ALL).workload for _ in range(12)]
+        # deficit scheduling: ~3 oltp dispatches per bi dispatch
+        assert first_12.count("oltp") == 9
+        assert first_12.count("bi") == 3
+
+    def test_uncontended_class_is_served_regardless_of_share(self):
+        queue = TaskQueue(class_shares={"bi": 0.001})
+        _push(queue, n=2, sql="bi:q")
+        assert queue.match(ALL) is not None
+        assert queue.match(ALL) is not None
+
+    def test_invalid_shares_rejected(self):
+        with pytest.raises(ValueError):
+            TaskQueue(class_shares={"oltp": 0.0})
+        with pytest.raises(ValueError):
+            TaskQueue(default_share=-1.0)
+
+
+class TestRequirements:
+    def test_entry_only_matches_covering_capabilities(self):
+        queue = TaskQueue(
+            requirements_fn=lambda q: (
+                frozenset({"big-memory"}) if q.sql.startswith("bi") else
+                NO_REQUIREMENTS
+            )
+        )
+        bi = _push(queue, sql="bi:scan")[0]
+        oltp = _push(queue, sql="oltp:q")[0]
+        # a small node can only take the oltp entry...
+        assert queue.match(frozenset()).query is oltp
+        assert queue.match(frozenset()) is None
+        # ...the bi entry waits for a big-memory node
+        assert queue.match(frozenset({"big-memory", "x"})).query is bi
+
+    def test_blocked_filter_skips_without_reordering(self):
+        queue = TaskQueue()
+        first, second = _push(queue, n=2, sql="oltp:q")
+        entry = queue.match(ALL, blocked=lambda q: q is first)
+        assert entry.query is second
+        assert queue.match(ALL).query is first  # still queued, still FIFO
+
+
+class TestMaintenance:
+    def test_remove_withdraws_by_id(self):
+        queue = TaskQueue()
+        queries = _push(queue, n=3, sql="oltp:q")
+        victim = queries[1]
+        assert queue.remove(victim.query_id) is victim
+        assert len(queue) == 2
+        assert queue.remove(victim.query_id) is None
+        remaining = [queue.match(ALL).query for _ in range(2)]
+        assert remaining == [queries[0], queries[2]]
+
+    def test_snapshots_are_deterministic(self):
+        queue = TaskQueue()
+        _push(queue, n=2, sql="oltp:q")
+        _push(queue, n=2, sql="bi:q", priority=4)
+        snapshot = queue.queued_queries()
+        assert snapshot == queue.queued_queries()
+        assert [e.workload for e in queue.queued_entries()] == [
+            "bi", "bi", "oltp", "oltp"
+        ]
+        queue.match(ALL)
+        assert queue.served_counts() == {"bi": 1}

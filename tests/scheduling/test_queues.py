@@ -175,6 +175,39 @@ class TestMultiQueue:
         assert scheduler.remove(waiting.query_id) is waiting
 
 
+class TestAttachIdempotency:
+    def test_reattach_does_not_double_count_completions(self, sim):
+        """Regression: every attach used to add a fresh engine-exit
+        listener, so dynamic MPL controllers saw 2x, 3x… throughput
+        after a manager rebuild or scheduler swap."""
+        mpl = FeedbackMpl(initial=4)
+        scheduler = FCFSScheduler(mpl=mpl)
+        manager = _manager(sim, scheduler)
+        for _ in range(3):
+            scheduler.attach(manager.context)  # e.g. node reactivation
+        manager.submit(make_query(cpu=0.5, io=0.0))
+        sim.run_until(4.0)  # before the controller's adjust interval
+        assert mpl._completions == 1
+
+    def test_reattach_multiqueue_is_idempotent_too(self, sim):
+        mpl = FeedbackMpl(initial=4)
+        scheduler = MultiQueueScheduler(global_mpl=mpl)
+        manager = _manager(sim, scheduler)
+        scheduler.attach(manager.context)
+        scheduler.attach(manager.context)
+        manager.submit(make_query(cpu=0.5, io=0.0))
+        sim.run_until(4.0)  # before the controller's adjust interval
+        assert mpl._completions == 1
+
+    def test_distinct_engines_each_get_a_listener(self):
+        mpl = FeedbackMpl(initial=4)
+        scheduler = FCFSScheduler(mpl=mpl)
+        first = _manager(Simulator(seed=31), scheduler)
+        second = _manager(Simulator(seed=32), scheduler)
+        assert len(scheduler._mpl_hooked_engines) == 2
+        assert first.context.engine is not second.context.engine
+
+
 class TestMplControllers:
     def test_static_mpl(self, sim):
         manager = _manager(sim, FCFSScheduler(mpl=None))
