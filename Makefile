@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline bench-matcher bench-matcher-full bench-million bench-million-full profile equivalence artifacts lint
+.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline bench-matcher bench-matcher-full bench-million bench-million-full bench-backend bench-backend-full profile equivalence artifacts lint
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -56,6 +56,18 @@ bench-million:
 bench-million-full:
 	$(PY) -m benchmarks.perf.million --mode full --workers 8
 
+# Real-backend macro-bench: >= 1,000 statements against in-process
+# SQLite under rate control, trace-captured via QueryLog, with the
+# sim-vs-real comparison (admission + throttling) and the calibration
+# gate; plan digest checked against the backend section of
+# BENCH_core.json.  Writes the run's JSON for the CI bench artifact.
+bench-backend:
+	$(PY) -m benchmarks.perf.backend --mode ci --json-out bench-backend.json
+
+# Longer-horizon backend run (>= 6,000 statements, digest-gated).
+bench-backend-full:
+	$(PY) -m benchmarks.perf.backend --mode full
+
 # One-command hotspot profile: cProfile over a shortened high_mpl,
 # top-25 cumulative functions (the kill-list workflow).
 profile:
@@ -72,6 +84,13 @@ bench-baseline:
 	$(PY) -m benchmarks.perf --update-baseline
 	$(PY) -m benchmarks.perf --mode full --update-baseline
 
-# Regenerate every paper artifact under benchmarks/results/.
+# Regenerate every paper artifact under benchmarks/results/, then
+# re-run the JSON-emitting bench gates and collect their outputs there
+# too, so one target leaves a complete, committable artifact set.
 artifacts:
 	$(PY) -m pytest benchmarks/ -q
+	$(PY) -m benchmarks.perf.matcher --mode ci --json-out bench-matcher.json
+	$(PY) -m benchmarks.perf.million --mode ci --json-out bench-million.json
+	$(PY) -m benchmarks.perf.backend --mode ci --json-out bench-backend.json
+	mkdir -p benchmarks/results
+	mv bench-matcher.json bench-million.json bench-backend.json benchmarks/results/

@@ -1,0 +1,260 @@
+"""The real-backend macro-bench: ``python -m benchmarks.perf.backend``.
+
+Executes a >= 1,000-statement plan against the in-process SQLite backend
+under rate control (arrival pacing + a token-bucket max-rate), captures
+the trace through :class:`~repro.workloads.traces.QueryLog`, fits a cost
+model, and runs the full sim-vs-real comparison harness for one
+admission and one throttling policy.
+
+Gates, against the committed ``backend`` section of ``BENCH_core.json``:
+
+* **plan digest** — the pre-drawn statement stream is the subsystem's
+  determinism boundary; any drift in arrival draws, costs or operation
+  mapping fails here;
+* **statement count** and **conservation** — every planned statement
+  must produce exactly one trace record;
+* **calibration** — the calibrated simulator's mean response-time error
+  against the real baseline must beat the uncalibrated cost model's;
+* **wall clock** — ci-mode regression gate (factor x committed wall).
+
+Wall-clock execution of a real backend is inherently non-deterministic,
+so only the plan digest is digest-gated; measured metrics are recorded
+in the JSON artifact for trend inspection, not gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    REGRESSION_FACTOR,
+    SCENARIO_SEEDS,
+    load_baseline,
+)
+
+#: ci-mode sizing: oltp (10/s) + bi over this horizon -> >= 1,000 draws
+CI_HORIZON = 100.0
+FULL_HORIZON = 600.0
+#: floor enforced on the number of statements the plan must execute
+STATEMENT_FLOOR = {"ci": 1_000, "full": 6_000}
+#: schedule compression: real seconds per schedule second
+TIME_SCALE = {"ci": 0.005, "full": 0.01}
+#: token-bucket max-rate (statements/second of wall clock)
+MAX_RATE = 2_500.0
+
+
+def run_backend_bench(
+    mode: str,
+    log: Optional[Callable[[str], None]] = print,
+) -> Dict[str, object]:
+    """Run the plan + comparison and return the result dict."""
+    from repro.backends import (
+        AdmissionGate,
+        RunConfig,
+        SQLiteBackend,
+        SleepThrottle,
+        plan_statements,
+        run_comparison,
+    )
+    from repro.workloads.generator import bi_workload, oltp_workload
+
+    horizon = CI_HORIZON if mode == "ci" else FULL_HORIZON
+    seed = SCENARIO_SEEDS["backend"]
+    plan = plan_statements(
+        [oltp_workload(), bi_workload()], horizon=horizon, seed=seed
+    )
+    config = RunConfig(
+        mpl=4,
+        max_rate=MAX_RATE,
+        time_scale=TIME_SCALE[mode],
+        statement_timeout_s=10.0,
+    )
+    start = time.perf_counter()
+    report = run_comparison(
+        plan,
+        SQLiteBackend,
+        config,
+        admission=AdmissionGate(cost_limit=5.0),
+        throttle=SleepThrottle(workloads=frozenset({"bi"}), sleep_fraction=0.6),
+        keep_real_reports=True,
+    )
+    wall = time.perf_counter() - start
+    baseline_run = report.real_reports["baseline"]
+    result: Dict[str, object] = {
+        "mode": mode,
+        "plan_digest": report.plan_digest,
+        "statements": report.statements,
+        "conserved": all(r.conserved for r in report.real_reports.values()),
+        "completed": baseline_run.completed,
+        "retries": baseline_run.retries,
+        "timeouts": baseline_run.timeouts,
+        "rate_wait_s": round(baseline_run.rate_wait_s, 3),
+        "max_lateness_s": round(baseline_run.max_lateness_s, 4),
+        "effective_rate": round(baseline_run.effective_rate, 1),
+        "mean_rt_error_uncalibrated": report.mean_rt_error_uncalibrated,
+        "mean_rt_error_calibrated": report.mean_rt_error_calibrated,
+        "calibration_improved": report.calibration_improved,
+        "policies": {
+            policy.label: {
+                delta.metric: {
+                    "real": delta.real,
+                    "sim": delta.sim,
+                    "delta": delta.delta,
+                }
+                for delta in policy.deltas
+            }
+            for policy in report.policies
+        },
+        "wall_s": round(wall, 3),
+    }
+    if log is not None:
+        log(
+            f"  backend: {result['wall_s']:8.3f}s wall, "
+            f"{result['statements']:>6} statements "
+            f"({result['effective_rate']:.0f}/s), "
+            f"rt-err {report.mean_rt_error_uncalibrated:.4f}s -> "
+            f"{report.mean_rt_error_calibrated:.4f}s calibrated, "
+            f"plan digest {report.plan_digest[:12]}…"
+        )
+    return result
+
+
+def check_backend(
+    result: Dict[str, object],
+    baseline: Optional[Dict],
+    section: str,
+    gate_wall: bool,
+    log: Optional[Callable[[str], None]] = print,
+) -> bool:
+    """Gate a run against the committed ``backend`` section."""
+    ok = True
+    floor = STATEMENT_FLOOR[section]
+    if int(result["statements"]) < floor:
+        ok = False
+        if log:
+            log(
+                f"SIZE FAILURE: backend plan has {result['statements']} "
+                f"statements, expected >= {floor}"
+            )
+    if not result["conserved"]:
+        ok = False
+        if log:
+            log("CONSERVATION FAILURE: planned != recorded trace records")
+    if not result["calibration_improved"]:
+        ok = False
+        if log:
+            log(
+                "CALIBRATION FAILURE: calibrated mean-RT error "
+                f"{result['mean_rt_error_calibrated']:.6f}s not below "
+                f"uncalibrated {result['mean_rt_error_uncalibrated']:.6f}s"
+            )
+    committed = (baseline or {}).get("backend", {}).get(section)
+    if committed is None:
+        if log:
+            log(
+                f"no committed backend/{section} baseline at "
+                f"{BASELINE_PATH}; run with --update-baseline"
+            )
+        return ok
+    if committed.get("plan_digest") != result["plan_digest"]:
+        ok = False
+        if log:
+            log(
+                f"DETERMINISM BREAK: backend plan digest "
+                f"{str(result['plan_digest'])[:16]}… != committed "
+                f"{str(committed['plan_digest'])[:16]}…"
+            )
+    if int(committed.get("statements", -1)) != int(result["statements"]):
+        ok = False
+        if log:
+            log(
+                f"COUNT MISMATCH: backend statements {result['statements']} "
+                f"!= committed {committed.get('statements')}"
+            )
+    base_wall = float(committed.get("wall_s", 0.0))
+    wall = float(result["wall_s"])
+    if gate_wall and base_wall > 0 and wall > REGRESSION_FACTOR * base_wall:
+        ok = False
+        if log:
+            log(
+                f"PERF REGRESSION: backend took {wall:.3f}s vs committed "
+                f"{base_wall:.3f}s (>{REGRESSION_FACTOR:.1f}x)"
+            )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.backend",
+        description="Run the real-backend macro-bench (sqlite) and gate "
+        "its plan digest and calibration against BENCH_core.json.",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("ci", "full"),
+        default="ci",
+        help="ci: >= 1,000 statements with digest + wall gates (default); "
+        "full: a longer horizon, digest-gated only",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the backend section of BENCH_core.json with this "
+        "run instead of gating against it",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report without failing on gate mismatches",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=str,
+        default=None,
+        help="also write this run's result dict as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"backend ({args.mode} mode):")
+    result = run_backend_bench(args.mode)
+
+    if args.json_out:
+        payload = {"mode": args.mode, "result": result}
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+
+    baseline = load_baseline()
+    if args.update_baseline:
+        baseline = baseline or {}
+        section = baseline.setdefault("backend", {})
+        # Only the deterministic/stable fields belong in the committed
+        # baseline; measured metrics vary run to run.
+        section[args.mode] = {
+            "plan_digest": result["plan_digest"],
+            "statements": result["statements"],
+            "wall_s": result["wall_s"],
+        }
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline backend/{args.mode} updated: {BASELINE_PATH}")
+        return 0
+
+    if args.no_gate:
+        return 0
+    ok = check_backend(
+        result, baseline, args.mode, gate_wall=args.mode == "ci"
+    )
+    print("gate: OK" if ok else "gate: FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ SCENARIO_SEEDS = {
     "cluster": 19,
     "million_query": 23,
     "matcher": 29,
+    "backend": 31,
 }
 
 

@@ -1,0 +1,105 @@
+"""Real-DBMS execution backends with rate control and calibration.
+
+Everything else in the library runs on simulated time; this package
+runs the *same* workload specifications against a real engine — an
+in-process SQLite database by default, PostgreSQL when a DSN is
+configured — and closes the loop back to the simulator:
+
+* :mod:`repro.backends.base` — the :class:`BackendDriver` protocol,
+  backend-neutral :class:`Operation` shapes and the
+  :class:`ErrorKind` taxonomy mapping real failures onto the query
+  lifecycle's terminal states;
+* :mod:`repro.backends.plan` — the determinism boundary: a digest-gated
+  pre-drawn :class:`StatementPlan` both engines consume;
+* :mod:`repro.backends.pool` / :mod:`repro.backends.rate` — bounded
+  connection pooling with health checks, token-bucket max-rate control
+  and scheduled arrival pacing;
+* :mod:`repro.backends.runner` — paced, rate-limited execution with
+  per-statement timeout, bounded retry and
+  :class:`~repro.workloads.traces.QueryLog` trace capture;
+* :mod:`repro.backends.calibrate` — fitting simulator cost models from
+  captured traces;
+* :mod:`repro.backends.compare` — the sim-vs-real harness reporting
+  per-metric deltas for admission and throttling policies.
+"""
+
+from repro.backends.base import (
+    BackendDriver,
+    BackendUnavailable,
+    ERROR_FINAL_STATE,
+    ErrorKind,
+    Operation,
+    OpKind,
+    make_backend,
+)
+from repro.backends.calibrate import (
+    ClassFit,
+    CostModel,
+    fit_cost_model,
+    service_error,
+)
+from repro.backends.compare import (
+    ComparisonReport,
+    MetricDelta,
+    MetricSummary,
+    PolicyComparison,
+    metric_deltas,
+    run_comparison,
+    run_sim_on_plan,
+    summarize_log,
+)
+from repro.backends.plan import (
+    PlannedStatement,
+    StatementPlan,
+    plan_statements,
+)
+from repro.backends.pool import ConnectionPool, PoolStats
+from repro.backends.postgres import DSN_ENV, PostgresBackend
+from repro.backends.rate import ArrivalPacer, TokenBucket
+from repro.backends.runner import (
+    AdmissionGate,
+    BackendRunner,
+    RunConfig,
+    RunReport,
+    SleepThrottle,
+    run_plan,
+)
+from repro.backends.sqlite import SQLiteBackend
+
+__all__ = [
+    "AdmissionGate",
+    "ArrivalPacer",
+    "BackendDriver",
+    "BackendRunner",
+    "BackendUnavailable",
+    "ClassFit",
+    "ComparisonReport",
+    "ConnectionPool",
+    "CostModel",
+    "DSN_ENV",
+    "ERROR_FINAL_STATE",
+    "ErrorKind",
+    "MetricDelta",
+    "MetricSummary",
+    "OpKind",
+    "Operation",
+    "PlannedStatement",
+    "PolicyComparison",
+    "PoolStats",
+    "PostgresBackend",
+    "RunConfig",
+    "RunReport",
+    "SQLiteBackend",
+    "SleepThrottle",
+    "StatementPlan",
+    "TokenBucket",
+    "fit_cost_model",
+    "make_backend",
+    "metric_deltas",
+    "plan_statements",
+    "run_comparison",
+    "run_plan",
+    "run_sim_on_plan",
+    "service_error",
+    "summarize_log",
+]

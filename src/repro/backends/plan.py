@@ -1,0 +1,238 @@
+"""Deterministic statement planning: workload specs → executable SQL.
+
+The planner is the determinism boundary of the backend subsystem.  It
+consumes the *same* :class:`~repro.workloads.models.WorkloadSpec`
+objects the simulator consumes — same arrival processes, same request
+classes, same cost distributions — and pre-draws the entire statement
+stream with a seeded generator: arrival instants, request classes, cost
+vectors, optimizer estimates and the concrete backend-neutral
+:class:`~repro.backends.base.Operation` each statement executes.
+
+Everything *after* the plan (wall-clock timings, thread interleavings,
+lock conflicts) is real and therefore non-deterministic; everything
+*in* the plan is bit-reproducible and digest-gated, which is what lets
+a simulator run and a real run answer the question "same requests,
+different engine — how do the metrics move?".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.base import Operation, OpKind
+from repro.engine.query import CostVector, Query, QueryState, StatementType
+from repro.errors import ConfigurationError
+from repro.workloads.models import ClosedArrivals, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PlannedStatement:
+    """One pre-drawn request: when it arrives, what it runs, what the
+    optimizer believed about it."""
+
+    index: int
+    submit_at: float
+    workload: str
+    request_class: str
+    statement_type: StatementType
+    priority: int
+    estimated_cost: CostVector
+    true_cost: CostVector
+    op: Operation
+    sql_label: str
+
+    def make_query(self) -> Query:
+        """A fresh :class:`Query` for this statement (sim or real run)."""
+        return Query(
+            true_cost=self.true_cost,
+            estimated_cost=self.estimated_cost,
+            statement_type=self.statement_type,
+            priority=self.priority,
+            workload_name=self.workload,
+            sql=self.sql_label,
+        )
+
+
+@dataclass(frozen=True)
+class StatementPlan:
+    """An ordered, fully pre-drawn statement stream."""
+
+    statements: Tuple[PlannedStatement, ...]
+    horizon: float
+    seed: int
+    key_space: int
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def digest(self) -> str:
+        """SHA-256 over every planned field — the determinism gate."""
+        h = sha256()
+        h.update(struct.pack("<dqq", self.horizon, self.seed, self.key_space))
+        for s in self.statements:
+            h.update(struct.pack("<qd", s.index, s.submit_at))
+            h.update(s.sql_label.encode("utf-8"))
+            h.update(s.statement_type.value.encode("ascii"))
+            h.update(struct.pack("<q", s.priority))
+            for cost in (s.estimated_cost, s.true_cost):
+                h.update(
+                    struct.pack(
+                        "<dddqq",
+                        cost.cpu_seconds,
+                        cost.io_seconds,
+                        cost.memory_mb,
+                        cost.lock_count,
+                        cost.rows,
+                    )
+                )
+            h.update(s.op.kind.value.encode("ascii"))
+            h.update(struct.pack("<qq", s.op.key, s.op.span))
+        return h.hexdigest()
+
+    def workloads(self) -> Tuple[str, ...]:
+        seen = []
+        for s in self.statements:
+            if s.workload not in seen:
+                seen.append(s.workload)
+        return tuple(seen)
+
+
+def _operation_for(
+    statement_type: StatementType,
+    true_cost: CostVector,
+    rng: np.random.Generator,
+    key_space: int,
+    work_scale: float,
+    heavy_read_threshold: float,
+) -> Operation:
+    """Map a drawn request onto a backend operation.
+
+    The touched-row ``span`` grows linearly with the spec's sampled
+    demand (``work_scale`` rows per cost-second), so heavy BI draws
+    become genuinely heavier SQL — the property calibration later
+    exploits to fit cost models with non-trivial slopes.
+    """
+    key = int(rng.integers(0, key_space))
+    work = true_cost.total_work
+    span = max(1, min(key_space, int(work * work_scale)))
+    if statement_type in (StatementType.WRITE, StatementType.DML):
+        return Operation(OpKind.POINT_WRITE, key=key, span=min(span, 64))
+    if statement_type in (StatementType.UTILITY, StatementType.DDL, StatementType.LOAD):
+        return Operation(OpKind.MAINTENANCE, key=key, span=1)
+    if work >= heavy_read_threshold:
+        return Operation(OpKind.RANGE_AGG, key=key, span=span)
+    return Operation(OpKind.POINT_READ, key=key, span=1)
+
+
+def plan_statements(
+    specs: Sequence[WorkloadSpec],
+    horizon: float,
+    seed: int = 0,
+    key_space: int = 10_000,
+    work_scale: float = 200.0,
+    heavy_read_threshold: float = 1.0,
+    optimizer_sigma: float = 0.0,
+    max_statements: Optional[int] = None,
+) -> StatementPlan:
+    """Pre-draw the full statement stream for ``specs`` over ``horizon``.
+
+    Per-spec draws use independent child seeds (``[seed, spec_index]``)
+    so adding a workload never perturbs another workload's stream.  The
+    merged stream is ordered by arrival time with (spec, arrival) order
+    breaking ties — the same order a simulator event heap would realize.
+
+    ``optimizer_sigma`` > 0 perturbs estimates with multiplicative
+    log-normal error, reproducing the §2.3 estimate gap on the real
+    backend; the default is a perfect optimizer so admission decisions
+    match bit-for-bit between sim and real runs.
+    """
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    if key_space < 1:
+        raise ConfigurationError("key_space must be >= 1")
+    drawn = []
+    for spec_index, spec in enumerate(specs):
+        if isinstance(spec.arrivals, ClosedArrivals):
+            raise ConfigurationError(
+                f"workload {spec.name!r} uses closed arrivals, which need "
+                "completion feedback; backend plans support open/batch "
+                "arrival processes"
+            )
+        rng = np.random.default_rng([seed, spec_index])
+        arrivals = spec.arrivals.arrival_times(rng, horizon)
+        for arrival_index, submit_at in enumerate(arrivals):
+            request_class = spec.pick_class(rng)
+            true_cost = request_class.sample_cost(rng)
+            if optimizer_sigma > 0:
+                factor = float(np.exp(rng.normal(0.0, optimizer_sigma)))
+                estimated = true_cost.scaled(factor)
+            else:
+                estimated = true_cost
+            op = _operation_for(
+                request_class.statement_type,
+                true_cost,
+                rng,
+                key_space,
+                work_scale,
+                heavy_read_threshold,
+            )
+            drawn.append(
+                (
+                    float(submit_at),
+                    spec_index,
+                    arrival_index,
+                    spec,
+                    request_class,
+                    true_cost,
+                    estimated,
+                    op,
+                )
+            )
+    drawn.sort(key=lambda item: (item[0], item[1], item[2]))
+    if max_statements is not None:
+        drawn = drawn[:max_statements]
+    statements = tuple(
+        PlannedStatement(
+            index=index,
+            submit_at=submit_at,
+            workload=spec.name,
+            request_class=request_class.name,
+            statement_type=request_class.statement_type,
+            priority=spec.priority,
+            estimated_cost=estimated,
+            true_cost=true_cost,
+            op=op,
+            sql_label=f"{spec.name}:{request_class.name}",
+        )
+        for index, (
+            submit_at,
+            _spec_index,
+            _arrival_index,
+            spec,
+            request_class,
+            true_cost,
+            estimated,
+            op,
+        ) in enumerate(drawn)
+    )
+    return StatementPlan(
+        statements=statements, horizon=horizon, seed=seed, key_space=key_space
+    )
+
+
+def rejected_copy(statement: PlannedStatement, now: float) -> Query:
+    """A query object recording an admission rejection at ``now``."""
+    query = statement.make_query()
+    query.transition(QueryState.SUBMITTED)
+    query.submit_time = now
+    query.transition(QueryState.REJECTED)
+    query.end_time = now
+    return query

@@ -1,0 +1,191 @@
+"""Optional PostgreSQL backend, gated on a configured DSN.
+
+Postgres is the out-of-process backend: same :class:`Operation` shapes,
+same error taxonomy, but with network round-trips, a real lock manager
+and ``statement_timeout`` enforcement server-side.  It is strictly
+opt-in — construction raises :class:`BackendUnavailable` unless both a
+DSN (``dsn=`` argument or the ``REPRO_PG_DSN`` environment variable)
+and a psycopg driver (v3 ``psycopg`` or v2 ``psycopg2``) are present —
+so CI and laptops without a server skip it cleanly.
+
+The schema mirrors the SQLite backend's ``kv``/``facts`` pair and is
+seeded from the same deterministic generator, so a trace captured on
+one backend replays meaningfully against the other (the
+database-agnostic portability argument of Jain et al., arXiv
+1808.08355).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.backends.base import BackendDriver, BackendUnavailable, ErrorKind, Operation, OpKind
+from repro.errors import ConfigurationError
+
+#: environment variable naming the opt-in server
+DSN_ENV = "REPRO_PG_DSN"
+
+
+def _import_driver():
+    """Return (module, flavor) for psycopg v3 or v2, else None."""
+    try:
+        import psycopg  # type: ignore
+
+        return psycopg, 3
+    except ImportError:
+        pass
+    try:
+        import psycopg2  # type: ignore
+
+        return psycopg2, 2
+    except ImportError:
+        return None, 0
+
+
+class PostgresBackend(BackendDriver):
+    """PostgreSQL driver; see the module docstring for gating rules."""
+
+    name = "postgres"
+
+    def __init__(self, dsn: Optional[str] = None, schema: str = "repro_backend") -> None:
+        self.dsn = dsn or os.environ.get(DSN_ENV)
+        if not self.dsn:
+            raise BackendUnavailable(
+                f"postgres backend needs a DSN: pass dsn= or set ${DSN_ENV}"
+            )
+        self._driver, self._flavor = _import_driver()
+        if self._driver is None:
+            raise BackendUnavailable(
+                "postgres backend needs psycopg (v3) or psycopg2 installed"
+            )
+        self.schema = schema
+        self.rows = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> Any:
+        conn = self._driver.connect(self.dsn)
+        conn.autocommit = True
+        with conn.cursor() as cur:
+            cur.execute(f"SET search_path TO {self.schema}, public")
+        return conn
+
+    def close_connection(self, conn: Any) -> None:
+        conn.close()
+
+    def healthcheck(self, conn: Any) -> bool:
+        try:
+            with conn.cursor() as cur:
+                cur.execute("SELECT 1")
+                return cur.fetchone()[0] == 1
+        except Exception:
+            return False
+
+    def setup(self, seed: int = 0, rows: int = 10_000) -> None:
+        if rows < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {rows}")
+        self.rows = rows
+        conn = self._driver.connect(self.dsn)
+        conn.autocommit = True
+        try:
+            with conn.cursor() as cur:
+                cur.execute(f"DROP SCHEMA IF EXISTS {self.schema} CASCADE")
+                cur.execute(f"CREATE SCHEMA {self.schema}")
+                cur.execute(
+                    f"CREATE TABLE {self.schema}.kv "
+                    "(k BIGINT PRIMARY KEY, v TEXT NOT NULL)"
+                )
+                cur.execute(
+                    f"CREATE TABLE {self.schema}.facts "
+                    "(id BIGINT PRIMARY KEY, grp INT NOT NULL, val DOUBLE PRECISION NOT NULL)"
+                )
+                rng = np.random.default_rng([seed, rows])
+                values = rng.integers(0, 2**63 - 1, size=rows, dtype=np.int64)
+                cur.executemany(
+                    f"INSERT INTO {self.schema}.kv (k, v) VALUES (%s, %s)",
+                    [(int(k), f"{int(v):016x}") for k, v in enumerate(values)],
+                )
+                groups = rng.integers(0, 97, size=rows, dtype=np.int64)
+                vals = rng.random(size=rows)
+                cur.executemany(
+                    f"INSERT INTO {self.schema}.facts (id, grp, val) "
+                    "VALUES (%s, %s, %s)",
+                    [
+                        (int(i), int(g), float(x))
+                        for i, (g, x) in enumerate(zip(groups, vals))
+                    ],
+                )
+                cur.execute(
+                    f"CREATE INDEX facts_grp ON {self.schema}.facts (grp)"
+                )
+        finally:
+            conn.close()
+
+    def teardown(self) -> None:  # schema is left for inspection
+        pass
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, conn: Any, op: Operation, deadline: Optional[float] = None
+    ) -> int:
+        if self.rows < 1:
+            raise ConfigurationError("backend not set up; call setup() first")
+        rows = self.rows
+        key = op.key % rows
+        with conn.cursor() as cur:
+            if deadline is not None:
+                budget_ms = max(1, int((deadline - time.monotonic()) * 1000))
+                cur.execute(f"SET statement_timeout = {budget_ms}")
+            try:
+                if op.kind is OpKind.POINT_READ:
+                    cur.execute("SELECT v FROM kv WHERE k = %s", (key,))
+                    return 0 if cur.fetchone() is None else 1
+                if op.kind is OpKind.POINT_WRITE:
+                    hi = min(rows - 1, key + max(1, op.span) - 1)
+                    cur.execute(
+                        "UPDATE kv SET v = %s WHERE k BETWEEN %s AND %s",
+                        (op.payload or "w", key, hi),
+                    )
+                    return cur.rowcount
+                if op.kind is OpKind.RANGE_AGG:
+                    hi = min(rows - 1, key + max(1, op.span) - 1)
+                    cur.execute(
+                        "SELECT grp, COUNT(*), SUM(val), AVG(val) FROM facts "
+                        "WHERE id BETWEEN %s AND %s GROUP BY grp ORDER BY grp",
+                        (key, hi),
+                    )
+                    return hi - key + 1 if cur.fetchall() else 0
+                if op.kind is OpKind.MAINTENANCE:
+                    cur.execute("ANALYZE kv")
+                    return 1
+            finally:
+                if deadline is not None:
+                    cur.execute("SET statement_timeout = 0")
+        raise ConfigurationError(f"unsupported operation kind {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # error taxonomy
+    # ------------------------------------------------------------------
+    def classify_error(self, error: Exception) -> ErrorKind:
+        code = getattr(error, "sqlstate", None) or getattr(error, "pgcode", None)
+        if code == "57014":  # query_canceled (statement_timeout)
+            return ErrorKind.TIMEOUT
+        if code in ("40001", "40P01", "55P03"):  # serialization/deadlock/lock
+            return ErrorKind.TRANSIENT
+        if code is not None and code.startswith("23"):  # integrity class
+            return ErrorKind.CONSTRAINT
+        message = str(error).lower()
+        if "timeout" in message or "canceling statement" in message:
+            return ErrorKind.TIMEOUT
+        if "deadlock" in message or "could not serialize" in message:
+            return ErrorKind.TRANSIENT
+        if "connection" in message:
+            return ErrorKind.TRANSIENT
+        return ErrorKind.FATAL

@@ -1,0 +1,357 @@
+"""The backend runner: paced, rate-limited, robust statement execution.
+
+:class:`BackendRunner` plays a :class:`~repro.backends.plan.StatementPlan`
+against a real :class:`~repro.backends.base.BackendDriver`:
+
+* the main thread paces arrivals at their scheduled instants
+  (:class:`~repro.backends.rate.ArrivalPacer`) and applies the optional
+  max-rate token bucket;
+* an admission gate — the real-system twin of
+  :class:`~repro.admission.threshold.ThresholdAdmission` — may reject a
+  statement on its *estimated* cost or on the outstanding count before
+  it ever reaches the engine;
+* a bounded worker pool (``mpl`` threads — the MPL of the real system)
+  executes admitted statements over pooled connections, with a
+  per-statement timeout, bounded exponential-backoff retry of transient
+  errors, and the :class:`~repro.backends.base.ErrorKind` taxonomy
+  deciding each failure's final :class:`~repro.engine.query.QueryState`;
+* an optional sleep throttle stretches matching statements' service
+  time by ``sleep/(1-sleep)`` — precisely the paper's §4.2.2 "constant
+  throttle" (many short self-imposed sleeps ≡ a speed cap of
+  ``1-sleep``), which is what the simulator's ``set_throttle`` applies.
+
+Every statement — completed, rejected, killed or aborted — is recorded
+through the standard :class:`~repro.workloads.traces.QueryLog`, so
+windowed characterization, replay and the DBQL pipeline work unchanged
+on real traces.  Times in the log are wall-clock seconds relative to
+the run's start.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.backends.base import (
+    BackendDriver,
+    ERROR_FINAL_STATE,
+    ErrorKind,
+)
+from repro.backends.plan import PlannedStatement, StatementPlan
+from repro.backends.pool import ConnectionPool, PoolStats
+from repro.backends.rate import ArrivalPacer, TokenBucket
+from repro.engine.query import Query, QueryState
+from repro.errors import ConfigurationError
+from repro.workloads.traces import QueryLog
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs of a real-backend run."""
+
+    mpl: int = 4                               # concurrent statements
+    pool_size: Optional[int] = None            # default: mpl
+    max_rate: Optional[float] = None           # token bucket, stmts/sec
+    burst: Optional[float] = None              # bucket capacity
+    time_scale: float = 1.0                    # real secs per schedule sec
+    statement_timeout_s: Optional[float] = 5.0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.005             # base of exponential backoff
+    rows: int = 10_000                         # seeded table size
+    setup_seed: int = 0
+    health_check_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.mpl < 1:
+            raise ConfigurationError(f"mpl must be >= 1, got {self.mpl}")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class AdmissionGate:
+    """Arrival-time thresholds applied before dispatch (paper §3.2).
+
+    ``cost_limit`` rejects on the optimizer's estimate, exactly like
+    ``ThresholdAdmission`` with ``reject_over_cost``; ``max_outstanding``
+    rejects when admitted-but-unfinished statements reach the bound
+    (an MPL gate with ``queue_when_full=False`` — queueing at the MPL
+    is what the bounded worker pool itself provides).
+    """
+
+    cost_limit: Optional[float] = None
+    max_outstanding: Optional[int] = None
+
+    def decide(self, query: Query, outstanding: int) -> Optional[str]:
+        """Rejection reason, or None to admit."""
+        if self.cost_limit is not None:
+            estimated = query.estimated_cost.total_work
+            if estimated > self.cost_limit:
+                return (
+                    f"estimated cost {estimated:.1f}s exceeds limit "
+                    f"{self.cost_limit:.1f}s"
+                )
+        if self.max_outstanding is not None and outstanding >= self.max_outstanding:
+            return f"outstanding limit {self.max_outstanding} reached"
+        return None
+
+
+@dataclass(frozen=True)
+class SleepThrottle:
+    """Constant throttle: stretch matching statements by a sleep.
+
+    A sleep fraction ``s`` after a statement that ran for ``t`` seconds
+    sleeps ``t * s/(1-s)``, making the statement's total service time
+    ``t/(1-s)`` — the same stretch a fluid-engine speed cap of ``1-s``
+    produces (§4.2.2).
+    """
+
+    workloads: FrozenSet[str] = frozenset()
+    sleep_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sleep_fraction < 1.0:
+            raise ConfigurationError(
+                f"sleep_fraction must be in [0,1), got {self.sleep_fraction}"
+            )
+
+    def applies_to(self, workload: Optional[str]) -> bool:
+        return not self.workloads or workload in self.workloads
+
+    def stretch_for(self, elapsed: float) -> float:
+        s = self.sleep_fraction
+        return elapsed * s / (1.0 - s) if s > 0 else 0.0
+
+
+@dataclass
+class RunReport:
+    """Everything a real run produced, log included."""
+
+    log: QueryLog
+    planned: int = 0
+    completed: int = 0
+    rejected: int = 0
+    killed: int = 0
+    aborted: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    rows_touched: int = 0
+    wall_s: float = 0.0
+    rate_wait_s: float = 0.0
+    max_lateness_s: float = 0.0
+    error_counts: Dict[str, int] = field(default_factory=dict)
+    pool: PoolStats = field(default_factory=PoolStats)
+
+    @property
+    def recorded(self) -> int:
+        return len(self.log)
+
+    @property
+    def conserved(self) -> bool:
+        """Every planned statement has exactly one log record."""
+        return self.recorded == self.planned
+
+    @property
+    def effective_rate(self) -> float:
+        return self.recorded / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.planned} planned: {self.completed} completed, "
+            f"{self.rejected} rejected, {self.killed} killed, "
+            f"{self.aborted} aborted ({self.retries} retries, "
+            f"{self.timeouts} timeouts) in {self.wall_s:.3f}s wall "
+            f"({self.effective_rate:.0f} stmts/s)"
+        )
+
+
+class BackendRunner:
+    """Execute a statement plan against a backend driver.
+
+    ``clock``/``sleep`` are injectable for tests; production runs use
+    ``time.monotonic``/``time.sleep``.
+    """
+
+    def __init__(
+        self,
+        driver: BackendDriver,
+        plan: StatementPlan,
+        config: Optional[RunConfig] = None,
+        admission: Optional[AdmissionGate] = None,
+        throttle: Optional[SleepThrottle] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.driver = driver
+        self.plan = plan
+        self.config = config or RunConfig()
+        self.admission = admission
+        self.throttle = throttle
+        self._clock = clock
+        self._sleep = sleep
+        self._t0 = 0.0
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._report: Optional[RunReport] = None
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        """Seconds since the run started (what the log records)."""
+        return self._clock() - self._t0
+
+    def _record(self, query: Query) -> None:
+        with self._lock:
+            self._report.log.record_query(query)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunReport:
+        """Set up, pace every statement through, and report."""
+        config = self.config
+        report = RunReport(log=QueryLog(), planned=len(self.plan))
+        self._report = report
+        self.driver.setup(seed=config.setup_seed, rows=config.rows)
+        pool = ConnectionPool(
+            self.driver,
+            size=config.pool_size or config.mpl,
+            health_check_every=config.health_check_every,
+        )
+        report.pool = pool.stats
+        pacer = ArrivalPacer(
+            time_scale=config.time_scale, clock=self._clock, sleep=self._sleep
+        )
+        bucket = (
+            TokenBucket(
+                config.max_rate,
+                burst=config.burst,
+                clock=self._clock,
+                sleep=self._sleep,
+            )
+            if config.max_rate is not None
+            else None
+        )
+        executor = ThreadPoolExecutor(
+            max_workers=config.mpl, thread_name_prefix="repro-backend"
+        )
+        futures = []
+        self._t0 = pacer.start()
+        try:
+            for statement in self.plan:
+                pacer.wait_until(statement.submit_at)
+                if bucket is not None:
+                    bucket.acquire()
+                query = statement.make_query()
+                query.transition(QueryState.SUBMITTED)
+                query.submit_time = self._now()
+                if self.admission is not None:
+                    with self._lock:
+                        outstanding = self._outstanding
+                    reason = self.admission.decide(query, outstanding)
+                    if reason is not None:
+                        query.transition(QueryState.REJECTED)
+                        query.end_time = self._now()
+                        report.rejected += 1
+                        self._record(query)
+                        continue
+                query.transition(QueryState.QUEUED)
+                with self._lock:
+                    self._outstanding += 1
+                futures.append(
+                    executor.submit(self._execute_one, pool, query, statement)
+                )
+            wait(futures)
+        finally:
+            executor.shutdown(wait=True)
+            pool.close()
+            self.driver.teardown()
+        report.wall_s = self._now()
+        report.max_lateness_s = pacer.max_lateness_s
+        if bucket is not None:
+            report.rate_wait_s = bucket.total_wait_s
+        return report
+
+    # ------------------------------------------------------------------
+    def _execute_one(
+        self, pool: ConnectionPool, query: Query, statement: PlannedStatement
+    ) -> None:
+        """Worker body: timeout, bounded retry, taxonomy, recording."""
+        config = self.config
+        report = self._report
+        attempts = 0
+        started = False
+        try:
+            while True:
+                conn = pool.acquire()
+                if not started:
+                    query.transition(QueryState.RUNNING)
+                    query.start_time = self._now()
+                    started = True
+                deadline = (
+                    self._clock() + config.statement_timeout_s
+                    if config.statement_timeout_s is not None
+                    else None
+                )
+                began = self._clock()
+                try:
+                    rows = self.driver.execute(conn, statement.op, deadline)
+                except Exception as error:  # noqa: BLE001 - taxonomy below
+                    kind = self.driver.classify_error(error)
+                    pool.release(conn, healthy=kind is not ErrorKind.FATAL)
+                    if kind.retryable and attempts < config.max_retries:
+                        attempts += 1
+                        with self._lock:
+                            report.retries += 1
+                        backoff = config.retry_backoff_s * (2 ** (attempts - 1))
+                        self._sleep(backoff)
+                        continue
+                    final = ERROR_FINAL_STATE[kind]
+                    query.transition(final)
+                    query.end_time = self._now()
+                    with self._lock:
+                        if final is QueryState.KILLED:
+                            report.killed += 1
+                        else:
+                            report.aborted += 1
+                        if kind is ErrorKind.TIMEOUT:
+                            report.timeouts += 1
+                        name = kind.value
+                        report.error_counts[name] = (
+                            report.error_counts.get(name, 0) + 1
+                        )
+                    self._record(query)
+                    return
+                else:
+                    elapsed = self._clock() - began
+                    pool.release(conn)
+                    if self.throttle is not None and self.throttle.applies_to(
+                        query.workload_name
+                    ):
+                        stretch = self.throttle.stretch_for(elapsed)
+                        if stretch > 0:
+                            self._sleep(stretch)
+                    query.progress = 1.0
+                    query.transition(QueryState.COMPLETED)
+                    query.end_time = self._now()
+                    with self._lock:
+                        report.completed += 1
+                        report.rows_touched += rows
+                    self._record(query)
+                    return
+        finally:
+            with self._lock:
+                self._outstanding -= 1
+
+
+def run_plan(
+    driver: BackendDriver,
+    plan: StatementPlan,
+    config: Optional[RunConfig] = None,
+    admission: Optional[AdmissionGate] = None,
+    throttle: Optional[SleepThrottle] = None,
+) -> RunReport:
+    """One-call convenience wrapper around :class:`BackendRunner`."""
+    return BackendRunner(
+        driver, plan, config=config, admission=admission, throttle=throttle
+    ).run()

@@ -1,0 +1,202 @@
+"""In-process SQLite backend: the CI-safe real execution engine.
+
+SQLite is the backend every environment has: in-process, zero network,
+deterministic to seed, and — in shared-cache memory mode — genuinely
+concurrent enough to exercise the runner's lock/busy retry taxonomy
+with real ``SQLITE_LOCKED``/``SQLITE_BUSY`` errors.
+
+Schema (the dbworkload ``kv`` idiom, plus an aggregate fact table):
+
+* ``kv(k INTEGER PRIMARY KEY, v TEXT)`` — point reads/writes land here;
+* ``facts(id INTEGER PRIMARY KEY, grp INTEGER, val REAL)`` — BI-style
+  range aggregations scan a ``span`` of this table, so a statement's
+  touched-row count scales with the workload spec's sampled cost.
+
+Statement timeouts use SQLite's progress handler: every ``N`` virtual
+machine opcodes the handler compares ``time.monotonic()`` against the
+statement's deadline and aborts the query with ``interrupted`` — a real
+in-engine cancellation, not a client-side thread kill.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.backends.base import BackendDriver, ErrorKind, Operation, OpKind
+from repro.errors import ConfigurationError
+
+#: progress-handler granularity: opcodes between deadline checks.  Small
+#: enough that even a point statement hits the handler when interrupted,
+#: large enough to keep the check off the hot path.
+_PROGRESS_OPCODES = 500
+
+_memory_ids = itertools.count(1)
+
+
+class SQLiteBackend(BackendDriver):
+    """SQLite driver over a file or a shared in-memory database.
+
+    Parameters
+    ----------
+    path:
+        Database file path; ``None`` (default) uses a process-private
+        shared-cache in-memory database, which multiple pool
+        connections can open concurrently.
+    busy_timeout_s:
+        How long SQLite itself retries a busy lock before surfacing
+        ``SQLITE_BUSY`` (which the runner's retry loop then handles).
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path: Optional[str] = None, busy_timeout_s: float = 0.5) -> None:
+        if busy_timeout_s < 0:
+            raise ConfigurationError("busy_timeout_s must be >= 0")
+        self._is_memory = path is None
+        if self._is_memory:
+            self._uri = (
+                f"file:repro-backend-{next(_memory_ids)}"
+                "?mode=memory&cache=shared"
+            )
+        else:
+            self._uri = path
+        self.busy_timeout_s = busy_timeout_s
+        self.rows = 0
+        self._keeper: Optional[sqlite3.Connection] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            self._uri,
+            uri=self._is_memory,
+            timeout=self.busy_timeout_s,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; explicit BEGIN where needed
+        )
+        conn.execute("PRAGMA synchronous=OFF")
+        return conn
+
+    def close_connection(self, conn: Any) -> None:
+        conn.close()
+
+    def healthcheck(self, conn: Any) -> bool:
+        try:
+            return conn.execute("SELECT 1").fetchone() == (1,)
+        except sqlite3.Error:
+            return False
+
+    def setup(self, seed: int = 0, rows: int = 10_000) -> None:
+        """Create and deterministically seed the schema.
+
+        The keeper connection holds the shared in-memory database alive
+        for the whole run (an in-memory DB vanishes with its last
+        connection).  Data is a pure function of ``(seed, rows)``.
+        """
+        if rows < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {rows}")
+        self.rows = rows
+        self._keeper = self.connect()
+        cur = self._keeper
+        cur.executescript(
+            """
+            DROP TABLE IF EXISTS kv;
+            DROP TABLE IF EXISTS facts;
+            CREATE TABLE kv (k INTEGER PRIMARY KEY, v TEXT NOT NULL);
+            CREATE TABLE facts (
+                id INTEGER PRIMARY KEY,
+                grp INTEGER NOT NULL,
+                val REAL NOT NULL
+            );
+            """
+        )
+        rng = np.random.default_rng([seed, rows])
+        values = rng.integers(0, 2**63 - 1, size=rows, dtype=np.int64)
+        cur.executemany(
+            "INSERT INTO kv (k, v) VALUES (?, ?)",
+            ((int(k), f"{int(v):016x}") for k, v in enumerate(values)),
+        )
+        groups = rng.integers(0, 97, size=rows, dtype=np.int64)
+        vals = rng.random(size=rows)
+        cur.executemany(
+            "INSERT INTO facts (id, grp, val) VALUES (?, ?, ?)",
+            (
+                (int(i), int(g), float(x))
+                for i, (g, x) in enumerate(zip(groups, vals))
+            ),
+        )
+        cur.execute("CREATE INDEX facts_grp ON facts (grp)")
+
+    def teardown(self) -> None:
+        if self._keeper is not None:
+            self._keeper.close()
+            self._keeper = None
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, conn: Any, op: Operation, deadline: Optional[float] = None
+    ) -> int:
+        if self.rows < 1:
+            raise ConfigurationError("backend not set up; call setup() first")
+        if deadline is not None:
+            def _check_deadline() -> int:
+                # non-zero return makes SQLite abort with 'interrupted'
+                return 1 if time.monotonic() > deadline else 0
+
+            conn.set_progress_handler(_check_deadline, _PROGRESS_OPCODES)
+        try:
+            return self._run(conn, op)
+        finally:
+            if deadline is not None:
+                conn.set_progress_handler(None, 0)
+
+    def _run(self, conn: sqlite3.Connection, op: Operation) -> int:
+        rows = self.rows
+        key = op.key % rows
+        if op.kind is OpKind.POINT_READ:
+            got = conn.execute("SELECT v FROM kv WHERE k = ?", (key,)).fetchone()
+            return 0 if got is None else 1
+        if op.kind is OpKind.POINT_WRITE:
+            hi = min(rows - 1, key + max(1, op.span) - 1)
+            cur = conn.execute(
+                "UPDATE kv SET v = ? WHERE k BETWEEN ? AND ?",
+                (op.payload or "w", key, hi),
+            )
+            return cur.rowcount
+        if op.kind is OpKind.RANGE_AGG:
+            hi = min(rows - 1, key + max(1, op.span) - 1)
+            got = conn.execute(
+                "SELECT grp, COUNT(*), SUM(val), AVG(val) FROM facts "
+                "WHERE id BETWEEN ? AND ? GROUP BY grp ORDER BY grp",
+                (key, hi),
+            ).fetchall()
+            return hi - key + 1 if got else 0
+        if op.kind is OpKind.MAINTENANCE:
+            got = conn.execute("PRAGMA quick_check").fetchall()
+            return len(got)
+        raise ConfigurationError(f"unsupported operation kind {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # error taxonomy
+    # ------------------------------------------------------------------
+    def classify_error(self, error: Exception) -> ErrorKind:
+        if isinstance(error, sqlite3.OperationalError):
+            message = str(error).lower()
+            if "interrupt" in message:
+                return ErrorKind.TIMEOUT
+            if "locked" in message or "busy" in message:
+                return ErrorKind.TRANSIENT
+            return ErrorKind.FATAL
+        if isinstance(error, sqlite3.IntegrityError):
+            return ErrorKind.CONSTRAINT
+        if isinstance(error, TimeoutError):
+            return ErrorKind.TIMEOUT
+        return ErrorKind.FATAL

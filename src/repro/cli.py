@@ -9,6 +9,9 @@ Usage::
     python -m repro sweep --workers 4      # parallel policy × seed sweep
     python -m repro classify F1 F2 ...     # classify a feature set
     python -m repro features               # list classification features
+    python -m repro backend run            # execute a plan on a real DBMS
+    python -m repro backend calibrate --trace-in t.jsonl   # fit cost model
+    python -m repro backend compare        # sim-vs-real metric deltas
 
 The CLI is intentionally thin — every command is one public-API call —
 so it doubles as living documentation of the library's entry points.
@@ -164,6 +167,156 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+_WORKLOAD_BUILDERS = ("oltp", "bi", "reports", "utilities")
+
+
+def _backend_specs(names: str):
+    from repro.workloads.generator import (
+        bi_workload,
+        oltp_workload,
+        report_batch_workload,
+        utility_workload,
+    )
+
+    builders = {
+        "oltp": oltp_workload,
+        "bi": bi_workload,
+        "reports": report_batch_workload,
+        "utilities": utility_workload,
+    }
+    specs = []
+    for name in names.split(","):
+        name = name.strip()
+        if name not in builders:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from {_WORKLOAD_BUILDERS}"
+            )
+        specs.append(builders[name]())
+    return specs
+
+
+def _backend_plan(args: argparse.Namespace):
+    from repro.backends import plan_statements
+
+    return plan_statements(
+        _backend_specs(args.workloads),
+        horizon=args.horizon,
+        seed=args.seed,
+        max_statements=args.max_statements,
+    )
+
+
+def _backend_config(args: argparse.Namespace):
+    from repro.backends import RunConfig
+
+    return RunConfig(
+        mpl=args.mpl,
+        max_rate=args.max_rate,
+        time_scale=args.time_scale,
+        statement_timeout_s=args.statement_timeout,
+        rows=args.rows,
+    )
+
+
+def _backend_policies(args: argparse.Namespace):
+    from repro.backends import AdmissionGate, SleepThrottle
+
+    gate = None
+    if args.cost_limit is not None or args.max_outstanding is not None:
+        gate = AdmissionGate(
+            cost_limit=args.cost_limit, max_outstanding=args.max_outstanding
+        )
+    throttle = None
+    if args.sleep_fraction > 0:
+        workloads = frozenset(
+            w.strip() for w in args.throttle_workloads.split(",") if w.strip()
+        )
+        throttle = SleepThrottle(
+            workloads=workloads, sleep_fraction=args.sleep_fraction
+        )
+    return gate, throttle
+
+
+def _cmd_backend(args: argparse.Namespace) -> int:
+    from repro.backends import (
+        BackendRunner,
+        BackendUnavailable,
+        fit_cost_model,
+        make_backend,
+        run_comparison,
+        service_error,
+        summarize_log,
+    )
+    from repro.workloads.traces import QueryLog
+
+    if args.verb == "calibrate":
+        if not args.trace_in:
+            print("backend calibrate requires --trace-in FILE")
+            return 2
+        log = QueryLog.from_jsonl(args.trace_in)
+        model = fit_cost_model(log, time_scale=args.time_scale)
+        print(
+            f"fitted {len(model.fits)} class models "
+            f"(+ global fallback) from {len(log)} records"
+        )
+        for label in sorted(model.fits):
+            fit = model.fits[label]
+            print(
+                f"  {label:<24} service ≈ {fit.intercept:.6f} "
+                f"+ {fit.slope:.6f}·work   ({fit.samples} samples)"
+            )
+        uncal = service_error(log, None, time_scale=args.time_scale)
+        cal = service_error(log, model, time_scale=args.time_scale)
+        print(f"mean |service error|: uncalibrated {uncal:.6f}s, "
+              f"calibrated {cal:.6f}s")
+        return 0
+
+    try:
+        if args.verb == "run":
+            plan = _backend_plan(args)
+            gate, throttle = _backend_policies(args)
+            driver = make_backend(args.backend)
+            print(
+                f"executing {len(plan)} planned statements on "
+                f"{args.backend} (digest {plan.digest()[:16]}…)"
+            )
+            report = BackendRunner(
+                driver,
+                plan,
+                _backend_config(args),
+                admission=gate,
+                throttle=throttle,
+            ).run()
+            print(report.summary_line())
+            summary = summarize_log(report.log, plan.horizon, args.time_scale)
+            for name, value in summary.as_dict().items():
+                print(f"  {name:<15} {value:.6f}")
+            if args.trace_out:
+                count = report.log.to_jsonl(args.trace_out)
+                print(f"wrote {count} trace records to {args.trace_out}")
+            return 0 if report.conserved else 1
+
+        # compare
+        plan = _backend_plan(args)
+        gate, throttle = _backend_policies(args)
+        report = run_comparison(
+            plan,
+            lambda: make_backend(args.backend),
+            _backend_config(args),
+            admission=gate,
+            throttle=throttle,
+            keep_real_reports=bool(args.trace_out),
+        )
+        print(report.render())
+        if args.trace_out:
+            count = report.real_reports["baseline"].log.to_jsonl(args.trace_out)
+            print(f"\nwrote {count} baseline trace records to {args.trace_out}")
+        return 0
+    except BackendUnavailable as reason:
+        print(f"backend unavailable: {reason}")
+        return 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     from repro.cluster.dispatcher import DISPATCH_MODES
@@ -254,6 +407,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="binding policy for every run in the sweep",
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    backend = subparsers.add_parser(
+        "backend",
+        help="execute workloads on a real DBMS backend (sqlite/postgres)",
+    )
+    backend.add_argument(
+        "verb",
+        choices=["run", "calibrate", "compare"],
+        help="run a plan, fit a cost model from a trace, or compare "
+        "sim vs real under admission + throttling policies",
+    )
+    backend.add_argument(
+        "--backend", default="sqlite", choices=["sqlite", "postgres"]
+    )
+    backend.add_argument(
+        "--workloads",
+        default="oltp,bi",
+        help=f"comma-separated canonical workloads {_WORKLOAD_BUILDERS}",
+    )
+    backend.add_argument("--horizon", type=float, default=60.0,
+                         help="schedule horizon in schedule seconds")
+    backend.add_argument("--seed", type=int, default=0)
+    backend.add_argument("--mpl", type=int, default=4,
+                         help="concurrent statements (worker threads)")
+    backend.add_argument(
+        "--time-scale", type=float, default=0.02,
+        help="real seconds per schedule second (compression factor)",
+    )
+    backend.add_argument("--max-rate", type=float, default=None,
+                         help="token-bucket cap in statements/second")
+    backend.add_argument("--rows", type=int, default=10_000,
+                         help="seeded table size")
+    backend.add_argument("--statement-timeout", type=float, default=5.0,
+                         help="per-statement wall-clock timeout in seconds")
+    backend.add_argument("--max-statements", type=int, default=None,
+                         help="truncate the plan after this many statements")
+    backend.add_argument("--cost-limit", type=float, default=None,
+                         help="admission: reject above this estimated cost")
+    backend.add_argument("--max-outstanding", type=int, default=None,
+                         help="admission: reject when this many outstanding")
+    backend.add_argument(
+        "--throttle-workloads", default="bi",
+        help="workloads the sleep throttle applies to (comma-separated)",
+    )
+    backend.add_argument(
+        "--sleep-fraction", type=float, default=0.0,
+        help="constant-throttle sleep fraction in [0,1); 0 disables",
+    )
+    backend.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write the captured QueryLog as JSON Lines")
+    backend.add_argument("--trace-in", default=None, metavar="FILE",
+                         help="trace to calibrate from (calibrate verb)")
+    backend.set_defaults(func=_cmd_backend)
 
     features = subparsers.add_parser("features", help="list feature names")
     features.set_defaults(func=_cmd_features)

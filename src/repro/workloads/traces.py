@@ -10,8 +10,10 @@ windowed aggregation for feature extraction and replay support.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -45,6 +47,66 @@ class QueryLogRecord:
     @property
     def completed(self) -> bool:
         return self.final_state is QueryState.COMPLETED
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (see :meth:`QueryLog.to_jsonl`)."""
+        return {
+            "query_id": self.query_id,
+            "workload": self.workload,
+            "statement_type": self.statement_type.value,
+            "priority": self.priority,
+            "submit_time": self.submit_time,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "final_state": self.final_state.value,
+            "estimated_cost": _cost_to_dict(self.estimated_cost),
+            "true_cost": _cost_to_dict(self.true_cost),
+            "session_id": self.session_id,
+            "sql": self.sql,
+            "plan_operators": self.plan_operators,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "QueryLogRecord":
+        return QueryLogRecord(
+            query_id=int(data["query_id"]),
+            workload=data.get("workload"),
+            statement_type=StatementType(data["statement_type"]),
+            priority=int(data["priority"]),
+            submit_time=float(data["submit_time"]),
+            start_time=_opt_float(data.get("start_time")),
+            end_time=_opt_float(data.get("end_time")),
+            final_state=QueryState(data["final_state"]),
+            estimated_cost=_cost_from_dict(data["estimated_cost"]),
+            true_cost=_cost_from_dict(data["true_cost"]),
+            session_id=data.get("session_id"),
+            sql=data.get("sql", ""),
+            plan_operators=int(data.get("plan_operators", 1)),
+        )
+
+
+def _cost_to_dict(cost: CostVector) -> dict:
+    return {
+        "cpu_seconds": cost.cpu_seconds,
+        "io_seconds": cost.io_seconds,
+        "memory_mb": cost.memory_mb,
+        "lock_count": cost.lock_count,
+        "rows": cost.rows,
+    }
+
+
+def _cost_from_dict(data: dict) -> CostVector:
+    return CostVector(
+        cpu_seconds=float(data.get("cpu_seconds", 0.0)),
+        io_seconds=float(data.get("io_seconds", 0.0)),
+        memory_mb=float(data.get("memory_mb", 0.0)),
+        lock_count=int(data.get("lock_count", 0)),
+        rows=int(data.get("rows", 0)),
+    )
+
+
+def _opt_float(value) -> Optional[float]:
+    return None if value is None else float(value)
 
 
 class QueryLog:
@@ -138,6 +200,36 @@ class QueryLog:
             if 0 <= index < count:
                 counts[index] += 1
         return [c / width for c in counts]
+
+    # ------------------------------------------------------------------
+    # serialization (JSON Lines, one record per line)
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the log as JSON Lines; returns the record count.
+
+        The format is append-friendly and tool-friendly (``jq``, pandas
+        ``read_json(lines=True)``): one self-contained record object per
+        line, enum fields as their string values, costs as nested
+        objects.  :meth:`from_jsonl` round-trips exactly.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self._records)
+
+    @staticmethod
+    def from_jsonl(path: Union[str, Path]) -> "QueryLog":
+        """Load a log written by :meth:`to_jsonl` (blank lines skipped)."""
+        log = QueryLog()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                log.append(QueryLogRecord.from_dict(json.loads(line)))
+        return log
 
     # ------------------------------------------------------------------
     # replay

@@ -1,0 +1,53 @@
+"""Tests for the driver protocol, error taxonomy, and backend factory."""
+
+import pytest
+
+from repro.backends.base import (
+    ERROR_FINAL_STATE,
+    BackendUnavailable,
+    ErrorKind,
+    make_backend,
+)
+from repro.backends.postgres import DSN_ENV, _import_driver
+from repro.backends.sqlite import SQLiteBackend
+from repro.engine.query import QueryState
+
+
+class TestErrorKind:
+    def test_only_transient_is_retryable(self):
+        assert ErrorKind.TRANSIENT.retryable
+        for kind in (ErrorKind.TIMEOUT, ErrorKind.CONSTRAINT, ErrorKind.FATAL):
+            assert not kind.retryable
+
+    def test_every_kind_has_a_final_state(self):
+        assert set(ERROR_FINAL_STATE) == set(ErrorKind)
+
+    def test_kills_and_aborts_partition_the_taxonomy(self):
+        assert ERROR_FINAL_STATE[ErrorKind.TIMEOUT] is QueryState.KILLED
+        assert ERROR_FINAL_STATE[ErrorKind.FATAL] is QueryState.KILLED
+        assert ERROR_FINAL_STATE[ErrorKind.TRANSIENT] is QueryState.ABORTED
+        assert ERROR_FINAL_STATE[ErrorKind.CONSTRAINT] is QueryState.ABORTED
+
+
+class TestMakeBackend:
+    def test_sqlite_always_available(self):
+        driver = make_backend("sqlite")
+        assert isinstance(driver, SQLiteBackend)
+        assert driver.name == "sqlite"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("oracle")
+
+    def test_postgres_without_dsn_unavailable(self, monkeypatch):
+        monkeypatch.delenv(DSN_ENV, raising=False)
+        with pytest.raises(BackendUnavailable, match="DSN"):
+            make_backend("postgres")
+
+    def test_postgres_without_driver_unavailable(self, monkeypatch):
+        module, _flavor = _import_driver()
+        if module is not None:
+            pytest.skip("a psycopg driver is installed here")
+        monkeypatch.setenv(DSN_ENV, "postgresql://localhost/repro")
+        with pytest.raises(BackendUnavailable, match="psycopg"):
+            make_backend("postgres")

@@ -1,0 +1,140 @@
+"""Tests for deterministic statement planning."""
+
+import dataclasses
+
+import pytest
+
+from repro.backends.base import OpKind
+from repro.backends.plan import plan_statements, rejected_copy
+from repro.engine.query import QueryState, StatementType
+from repro.errors import ConfigurationError
+from repro.workloads.generator import bi_workload, oltp_workload
+from repro.workloads.models import ClosedArrivals
+
+
+def _plan(seed=0, horizon=20.0, **kwargs):
+    return plan_statements(
+        [oltp_workload(), bi_workload(rate=0.5)],
+        horizon=horizon,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        assert _plan(seed=5).digest() == _plan(seed=5).digest()
+
+    def test_different_seed_different_digest(self):
+        assert _plan(seed=5).digest() != _plan(seed=6).digest()
+
+    def test_statements_identical_across_draws(self):
+        first, second = _plan(seed=7), _plan(seed=7)
+        assert first.statements == second.statements
+
+    def test_adding_a_workload_preserves_existing_streams(self):
+        # child seeds are per-spec, so spec 0's draws never move
+        alone = plan_statements([oltp_workload()], horizon=10.0, seed=3)
+        mixed = plan_statements(
+            [oltp_workload(), bi_workload()], horizon=10.0, seed=3
+        )
+        oltp_alone = [s.true_cost for s in alone if s.workload == "oltp"]
+        oltp_mixed = [s.true_cost for s in mixed if s.workload == "oltp"]
+        assert oltp_alone == oltp_mixed
+
+
+class TestPlanShape:
+    def test_ordered_by_arrival(self):
+        plan = _plan()
+        submits = [s.submit_at for s in plan]
+        assert submits == sorted(submits)
+
+    def test_indices_are_dense(self):
+        plan = _plan()
+        assert [s.index for s in plan] == list(range(len(plan)))
+
+    def test_max_statements_truncates(self):
+        full = _plan(seed=2)
+        cut = _plan(seed=2, max_statements=10)
+        assert len(cut) == 10
+        assert cut.statements == full.statements[:10]
+
+    def test_workloads_listed_in_first_seen_order(self):
+        plan = _plan()
+        assert set(plan.workloads()) == {"oltp", "bi"}
+
+    def test_operations_match_statement_types(self):
+        for statement in _plan(horizon=40.0):
+            if statement.statement_type in (
+                StatementType.WRITE,
+                StatementType.DML,
+            ):
+                assert statement.op.kind is OpKind.POINT_WRITE
+            elif statement.statement_type is StatementType.READ:
+                assert statement.op.kind in (
+                    OpKind.POINT_READ,
+                    OpKind.RANGE_AGG,
+                )
+
+    def test_heavy_reads_become_range_scans(self):
+        plan = _plan(horizon=60.0)
+        heavy = [
+            s
+            for s in plan
+            if s.statement_type is StatementType.READ
+            and s.true_cost.total_work >= 1.0
+        ]
+        assert heavy, "expected at least one heavy BI read in 60s"
+        assert all(s.op.kind is OpKind.RANGE_AGG for s in heavy)
+        assert all(s.op.span > 1 for s in heavy)
+
+    def test_perfect_optimizer_by_default(self):
+        for statement in _plan():
+            assert statement.estimated_cost == statement.true_cost
+
+    def test_optimizer_sigma_perturbs_estimates_deterministically(self):
+        noisy = _plan(seed=4, optimizer_sigma=0.5)
+        again = _plan(seed=4, optimizer_sigma=0.5)
+        assert any(
+            s.estimated_cost != s.true_cost for s in noisy
+        )
+        assert noisy.digest() == again.digest()
+
+
+class TestValidation:
+    def test_closed_arrivals_rejected(self):
+        spec = dataclasses.replace(
+            oltp_workload(), arrivals=ClosedArrivals(population=2)
+        )
+        with pytest.raises(ConfigurationError, match="closed arrivals"):
+            plan_statements([spec], horizon=10.0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_statements([oltp_workload()], horizon=0.0)
+
+    def test_bad_key_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_statements([oltp_workload()], horizon=1.0, key_space=0)
+
+
+class TestQueryConstruction:
+    def test_make_query_copies_plan_fields(self):
+        statement = _plan().statements[0]
+        query = statement.make_query()
+        assert query.true_cost == statement.true_cost
+        assert query.estimated_cost == statement.estimated_cost
+        assert query.workload_name == statement.workload
+        assert query.sql == statement.sql_label
+        assert query.priority == statement.priority
+
+    def test_make_query_returns_fresh_objects(self):
+        statement = _plan().statements[0]
+        assert statement.make_query().query_id != statement.make_query().query_id
+
+    def test_rejected_copy_is_terminal(self):
+        statement = _plan().statements[0]
+        query = rejected_copy(statement, now=3.5)
+        assert query.state is QueryState.REJECTED
+        assert query.submit_time == 3.5
+        assert query.end_time == 3.5

@@ -1,0 +1,132 @@
+"""Tests for the bounded connection pool."""
+
+import pytest
+
+from repro.backends.base import BackendDriver, ErrorKind
+from repro.backends.pool import ConnectionPool
+from repro.errors import ConfigurationError
+
+
+class FakeConn:
+    def __init__(self, serial):
+        self.serial = serial
+        self.closed = False
+
+
+class FakeDriver(BackendDriver):
+    """Scriptable driver: counts connections, toggleable health."""
+
+    name = "fake"
+
+    def __init__(self, healthy=True):
+        self.healthy = healthy
+        self.connected = 0
+        self.closed = []
+
+    def setup(self, seed=0, rows=10_000):
+        pass
+
+    def connect(self):
+        self.connected += 1
+        return FakeConn(self.connected)
+
+    def close_connection(self, conn):
+        conn.closed = True
+        self.closed.append(conn.serial)
+
+    def healthcheck(self, conn):
+        return self.healthy and not conn.closed
+
+    def execute(self, conn, op, deadline=None):
+        return 0
+
+    def classify_error(self, error):
+        return ErrorKind.FATAL
+
+
+class TestBounds:
+    def test_lazy_growth_up_to_size(self):
+        driver = FakeDriver()
+        pool = ConnectionPool(driver, size=3)
+        conns = [pool.acquire() for _ in range(3)]
+        assert driver.connected == 3
+        assert pool.live_connections == 3
+        for conn in conns:
+            pool.release(conn)
+
+    def test_released_connections_are_reused(self):
+        driver = FakeDriver()
+        pool = ConnectionPool(driver, size=2)
+        conn = pool.acquire()
+        pool.release(conn)
+        again = pool.acquire()
+        assert again is conn
+        assert driver.connected == 1
+
+    def test_exhausted_pool_times_out(self):
+        driver = FakeDriver()
+        pool = ConnectionPool(driver, size=1)
+        pool.acquire()
+        with pytest.raises(TimeoutError):
+            pool.acquire(timeout=0.01)
+        assert pool.stats.wait_timeouts == 1
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionPool(FakeDriver(), size=0)
+
+
+class TestHealth:
+    def test_periodic_health_check_runs(self):
+        driver = FakeDriver()
+        pool = ConnectionPool(driver, size=1, health_check_every=2)
+        for _ in range(4):
+            pool.release(pool.acquire())
+        assert pool.stats.health_checks == 2
+        assert pool.stats.health_failures == 0
+
+    def test_unhealthy_connection_is_recycled(self):
+        driver = FakeDriver()
+        pool = ConnectionPool(driver, size=1, health_check_every=1)
+        driver.healthy = False
+        conn = pool.acquire()
+        assert pool.stats.health_failures == 1
+        assert pool.stats.recycled == 1
+        assert conn.serial == 2  # the replacement, not the original
+        assert driver.closed == [1]
+        assert pool.live_connections == 1  # bound preserved
+
+    def test_zero_disables_health_checks(self):
+        driver = FakeDriver(healthy=False)
+        pool = ConnectionPool(driver, size=1, health_check_every=0)
+        for _ in range(5):
+            pool.release(pool.acquire())
+        assert pool.stats.health_checks == 0
+
+    def test_release_unhealthy_recycles(self):
+        driver = FakeDriver()
+        pool = ConnectionPool(driver, size=1)
+        conn = pool.acquire()
+        pool.release(conn, healthy=False)
+        assert pool.stats.recycled == 1
+        assert conn.closed
+        fresh = pool.acquire()
+        assert not fresh.closed
+
+
+class TestClose:
+    def test_close_drains_idle_connections(self):
+        driver = FakeDriver()
+        pool = ConnectionPool(driver, size=2)
+        first, second = pool.acquire(), pool.acquire()
+        pool.release(first)
+        pool.close()
+        assert first.closed
+        pool.release(second)  # borrowed at close time: closed on release
+        assert second.closed
+
+    def test_acquire_after_close_rejected(self):
+        pool = ConnectionPool(FakeDriver(), size=1)
+        pool.close()
+        with pytest.raises(ConfigurationError):
+            pool.acquire()

@@ -1,0 +1,290 @@
+"""Tests for the backend runner: robustness, admission, recording."""
+
+import pytest
+
+from repro.backends.base import BackendDriver, ErrorKind
+from repro.backends.plan import PlannedStatement, StatementPlan
+from repro.backends.base import Operation, OpKind
+from repro.backends.runner import (
+    AdmissionGate,
+    BackendRunner,
+    RunConfig,
+    SleepThrottle,
+    run_plan,
+)
+from repro.engine.query import CostVector, QueryState, StatementType
+from repro.errors import ConfigurationError
+
+
+class ScriptedError(Exception):
+    def __init__(self, kind):
+        super().__init__(kind.value)
+        self.kind = kind
+
+
+class ScriptedDriver(BackendDriver):
+    """Driver whose failures are scripted per statement key."""
+
+    name = "scripted"
+
+    def __init__(self, script=None):
+        # op.key -> list of ErrorKind to raise before finally succeeding
+        self.script = {k: list(v) for k, v in (script or {}).items()}
+        self.setup_calls = []
+        self.executed = []
+        self.torn_down = False
+
+    def setup(self, seed=0, rows=10_000):
+        self.setup_calls.append((seed, rows))
+
+    def connect(self):
+        return object()
+
+    def close_connection(self, conn):
+        pass
+
+    def healthcheck(self, conn):
+        return True
+
+    def execute(self, conn, op, deadline=None):
+        pending = self.script.get(op.key)
+        if pending:
+            raise ScriptedError(pending.pop(0))
+        self.executed.append(op.key)
+        return op.span
+
+    def classify_error(self, error):
+        if isinstance(error, ScriptedError):
+            return error.kind
+        return ErrorKind.FATAL
+
+
+def _statement(index, work=0.1, submit_at=0.0, workload="oltp"):
+    cost = CostVector(cpu_seconds=work)
+    return PlannedStatement(
+        index=index,
+        submit_at=submit_at,
+        workload=workload,
+        request_class="q",
+        statement_type=StatementType.READ,
+        priority=1,
+        estimated_cost=cost,
+        true_cost=cost,
+        op=Operation(OpKind.POINT_READ, key=index, span=1),
+        sql_label=f"{workload}:q",
+    )
+
+
+def _plan(statements):
+    return StatementPlan(
+        statements=tuple(statements), horizon=1.0, seed=0, key_space=100
+    )
+
+
+FAST = RunConfig(
+    mpl=2, time_scale=1e-6, retry_backoff_s=0.0, statement_timeout_s=None
+)
+
+
+class TestHappyPath:
+    def test_every_statement_recorded_exactly_once(self):
+        plan = _plan(_statement(i) for i in range(20))
+        report = run_plan(ScriptedDriver(), plan, FAST)
+        assert report.planned == 20
+        assert report.completed == 20
+        assert report.conserved
+        assert report.rows_touched == 20
+        assert all(r.completed for r in report.log)
+        assert all(
+            r.start_time is not None and r.end_time is not None
+            for r in report.log
+        )
+
+    def test_driver_lifecycle(self):
+        driver = ScriptedDriver()
+        config = RunConfig(
+            mpl=1, time_scale=1e-6, rows=123, setup_seed=9,
+            statement_timeout_s=None,
+        )
+        run_plan(driver, _plan([_statement(0)]), config)
+        assert driver.setup_calls == [(9, 123)]
+
+    def test_mpl_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(mpl=0)
+
+
+class TestAdmission:
+    def test_cost_limit_rejects_expensive_statements(self):
+        plan = _plan(
+            [_statement(0, work=0.1), _statement(1, work=5.0), _statement(2, work=0.2)]
+        )
+        report = run_plan(
+            ScriptedDriver(), plan, FAST, admission=AdmissionGate(cost_limit=1.0)
+        )
+        assert report.completed == 2
+        assert report.rejected == 1
+        assert report.conserved
+        rejected = [r for r in report.log if r.final_state is QueryState.REJECTED]
+        assert len(rejected) == 1
+        assert rejected[0].estimated_cost.total_work == pytest.approx(5.0)
+        assert rejected[0].start_time is None
+        assert rejected[0].end_time is not None
+
+    def test_outstanding_limit_zero_rejects_everything(self):
+        plan = _plan(_statement(i) for i in range(5))
+        report = run_plan(
+            ScriptedDriver(),
+            plan,
+            FAST,
+            admission=AdmissionGate(max_outstanding=0),
+        )
+        assert report.rejected == 5
+        assert report.completed == 0
+        assert report.conserved
+
+    def test_gate_reports_a_reason(self):
+        gate = AdmissionGate(cost_limit=1.0, max_outstanding=4)
+        query = _statement(0, work=3.0).make_query()
+        assert "exceeds limit" in gate.decide(query, outstanding=0)
+        cheap = _statement(0, work=0.5).make_query()
+        assert "outstanding" in gate.decide(cheap, outstanding=4)
+        assert gate.decide(cheap, outstanding=3) is None
+
+
+class TestRobustness:
+    def test_transient_errors_are_retried_to_success(self):
+        driver = ScriptedDriver({0: [ErrorKind.TRANSIENT, ErrorKind.TRANSIENT]})
+        report = run_plan(driver, _plan([_statement(0)]), FAST)
+        assert report.completed == 1
+        assert report.retries == 2
+        assert report.aborted == 0
+        assert report.log.records()[0].completed
+
+    def test_exhausted_retries_abort(self):
+        driver = ScriptedDriver({0: [ErrorKind.TRANSIENT] * 5})
+        report = run_plan(driver, _plan([_statement(0)]), FAST)
+        assert report.completed == 0
+        assert report.aborted == 1
+        assert report.retries == FAST.max_retries
+        assert report.error_counts == {"transient": 1}
+        assert report.log.records()[0].final_state is QueryState.ABORTED
+
+    def test_timeout_kills_without_retry(self):
+        driver = ScriptedDriver({0: [ErrorKind.TIMEOUT]})
+        report = run_plan(driver, _plan([_statement(0)]), FAST)
+        assert report.killed == 1
+        assert report.timeouts == 1
+        assert report.retries == 0
+        assert report.log.records()[0].final_state is QueryState.KILLED
+
+    def test_constraint_aborts_without_retry(self):
+        driver = ScriptedDriver({0: [ErrorKind.CONSTRAINT]})
+        report = run_plan(driver, _plan([_statement(0)]), FAST)
+        assert report.aborted == 1
+        assert report.retries == 0
+
+    def test_fatal_kills_and_recycles_the_connection(self):
+        driver = ScriptedDriver({0: [ErrorKind.FATAL]})
+        report = run_plan(driver, _plan([_statement(0), _statement(1)]), FAST)
+        assert report.killed == 1
+        assert report.completed == 1
+        assert report.pool.recycled >= 1
+        assert report.conserved
+
+    def test_mixed_outcomes_conserve_the_plan(self):
+        driver = ScriptedDriver(
+            {
+                1: [ErrorKind.TIMEOUT],
+                2: [ErrorKind.TRANSIENT],
+                3: [ErrorKind.FATAL],
+                4: [ErrorKind.CONSTRAINT],
+            }
+        )
+        plan = _plan(_statement(i) for i in range(6))
+        report = run_plan(driver, plan, FAST)
+        assert report.conserved
+        assert report.completed == 3  # 0, 5, and the retried 2
+        assert report.killed == 2
+        assert report.aborted == 1
+        assert (
+            report.completed + report.killed + report.aborted == report.planned
+        )
+
+
+class TestThrottle:
+    def test_stretch_matches_the_constant_throttle_formula(self):
+        throttle = SleepThrottle(sleep_fraction=0.6)
+        # sleeping s of the time stretches service by s/(1-s)
+        assert throttle.stretch_for(2.0) == pytest.approx(2.0 * 0.6 / 0.4)
+        assert SleepThrottle(sleep_fraction=0.0).stretch_for(2.0) == 0.0
+
+    def test_empty_workload_set_matches_everything(self):
+        throttle = SleepThrottle(sleep_fraction=0.5)
+        assert throttle.applies_to("oltp")
+        assert throttle.applies_to(None)
+
+    def test_named_workload_set_filters(self):
+        throttle = SleepThrottle(workloads=frozenset({"bi"}), sleep_fraction=0.5)
+        assert throttle.applies_to("bi")
+        assert not throttle.applies_to("oltp")
+
+    def test_sleep_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            SleepThrottle(sleep_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            SleepThrottle(sleep_fraction=-0.1)
+
+    def test_runner_sleeps_for_matching_workloads(self):
+        sleeps = []
+
+        class Recorder(ScriptedDriver):
+            def execute(self, conn, op, deadline=None):
+                import time as _time
+
+                _time.sleep(0.002)
+                return super().execute(conn, op, deadline)
+
+        plan = _plan([_statement(0, workload="bi")])
+        runner = BackendRunner(
+            Recorder(),
+            plan,
+            RunConfig(mpl=1, time_scale=1e-6, statement_timeout_s=None),
+            throttle=SleepThrottle(workloads=frozenset({"bi"}), sleep_fraction=0.5),
+        )
+        original_sleep = runner._sleep
+        runner._sleep = lambda s: (sleeps.append(s), original_sleep(0))[0]
+        report = runner.run()
+        assert report.completed == 1
+        assert sleeps, "throttle should have stretched the statement"
+        assert max(sleeps) >= 0.002  # stretch_for(elapsed>=2ms) at s=0.5
+
+    def test_runner_skips_non_matching_workloads(self):
+        sleeps = []
+        plan = _plan([_statement(0, workload="oltp")])
+        runner = BackendRunner(
+            ScriptedDriver(),
+            plan,
+            RunConfig(mpl=1, time_scale=1e-6, statement_timeout_s=None),
+            throttle=SleepThrottle(workloads=frozenset({"bi"}), sleep_fraction=0.9),
+            sleep=lambda s: sleeps.append(s),
+        )
+        report = runner.run()
+        assert report.completed == 1
+        assert sleeps == []
+
+
+class TestRateControl:
+    def test_max_rate_is_enforced(self):
+        plan = _plan(_statement(i) for i in range(10))
+        config = RunConfig(
+            mpl=2,
+            time_scale=1e-6,
+            max_rate=10_000.0,
+            burst=1.0,
+            statement_timeout_s=None,
+        )
+        report = run_plan(ScriptedDriver(), plan, config)
+        assert report.completed == 10
+        # 9 token waits of at most 1/10000 s each (loop time refills some)
+        assert 0.0 < report.rate_wait_s <= 9e-4 + 1e-9

@@ -99,3 +99,81 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestBackend:
+    RUN_FLAGS = [
+        "backend",
+        "run",
+        "--workloads", "oltp",
+        "--horizon", "5",
+        "--time-scale", "0.002",
+        "--seed", "3",
+        "--mpl", "2",
+        "--rows", "1000",
+    ]
+
+    def test_run_executes_and_reports(self, capsys):
+        assert main(self.RUN_FLAGS) == 0
+        out = capsys.readouterr().out
+        assert "planned statements on sqlite" in out
+        assert "completed" in out
+        assert "mean_rt" in out
+
+    def test_run_writes_a_trace_and_calibrate_consumes_it(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.RUN_FLAGS + ["--trace-out", str(trace)]) == 0
+        assert trace.exists()
+        out = capsys.readouterr().out
+        assert "trace records" in out
+
+        assert main(
+            ["backend", "calibrate", "--trace-in", str(trace),
+             "--time-scale", "0.002"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fitted" in out
+        assert "mean |service error|" in out
+
+    def test_calibrate_requires_a_trace(self, capsys):
+        assert main(["backend", "calibrate"]) == 2
+        assert "--trace-in" in capsys.readouterr().out
+
+    def test_compare_prints_policy_deltas(self, capsys):
+        code = main(
+            [
+                "backend", "compare",
+                "--workloads", "oltp",
+                "--horizon", "4",
+                "--time-scale", "0.002",
+                "--seed", "5",
+                "--mpl", "2",
+                "--rows", "1000",
+                "--cost-limit", "1.0",
+                "--sleep-fraction", "0.5",
+                "--throttle-workloads", "oltp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy: admission" in out
+        assert "policy: throttling" in out
+        assert "calibration" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["backend", "run", "--workloads", "webscale"])
+
+    def test_postgres_without_dsn_is_unavailable(self, monkeypatch, capsys):
+        from repro.backends import DSN_ENV
+
+        monkeypatch.delenv(DSN_ENV, raising=False)
+        code = main(
+            ["backend", "run", "--backend", "postgres", "--horizon", "1"]
+        )
+        assert code == 3
+        assert "backend unavailable" in capsys.readouterr().out
+
+    def test_rejects_unknown_verb(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["backend", "explode"])

@@ -38,6 +38,8 @@ EXPECTED_SUBPACKAGES = [
     "repro.ml",
     "repro.reporting",
     "repro.cluster",
+    "repro.parallel",
+    "repro.backends",
 ]
 
 
