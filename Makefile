@@ -3,7 +3,7 @@
 PY ?= python
 export PYTHONPATH := src:.
 
-.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline bench-matcher bench-matcher-full bench-million bench-million-full bench-backend bench-backend-full profile equivalence artifacts lint
+.PHONY: test bench bench-full bench-parallel bench-placement bench-baseline bench-matcher bench-matcher-full bench-million bench-million-full bench-backend bench-backend-full bench-scenarios profile equivalence artifacts lint
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -68,6 +68,13 @@ bench-backend:
 bench-backend-full:
 	$(PY) -m benchmarks.perf.backend --mode full
 
+# Chaos-scenario survival matrix: every committed scenario under every
+# isolation policy (plus leakage companions); digest + wall gates
+# against the scenarios section of BENCH_core.json.  Writes the run's
+# JSON for the CI bench artifact.
+bench-scenarios:
+	$(PY) -m benchmarks.perf.scenario_matrix --json-out bench-scenarios.json
+
 # One-command hotspot profile: cProfile over a shortened high_mpl,
 # top-25 cumulative functions (the kill-list workflow).
 profile:
@@ -93,4 +100,7 @@ artifacts:
 	$(PY) -m benchmarks.perf.million --mode ci --json-out bench-million.json
 	$(PY) -m benchmarks.perf.backend --mode ci --json-out bench-backend.json
 	mkdir -p benchmarks/results
-	mv bench-matcher.json bench-million.json bench-backend.json benchmarks/results/
+	$(PY) -m benchmarks.perf.scenario_matrix --json-out bench-scenarios.json \
+		--report-out benchmarks/results/SURVIVAL_MATRIX.md
+	mv bench-matcher.json bench-million.json bench-backend.json \
+		bench-scenarios.json benchmarks/results/

@@ -1,0 +1,202 @@
+"""The chaos-scenario matrix bench: ``python -m benchmarks.perf.scenario_matrix``.
+
+Runs the committed scenario × policy survival matrix
+(:mod:`repro.scenarios`) — every scenario under every isolation policy
+plus the leakage companions — and gates the sweep's rollup digest,
+run count and outcome counters against the committed ``scenarios``
+section of ``BENCH_core.json``.  Digests are worker-count independent,
+so the gate holds whether CI runs serial or sharded.
+
+Exit status is non-zero when a gate fails, so ``make bench-scenarios``
+doubles as a CI check.  ``--json-out`` writes the run's results as
+JSON for the workflow's bench artifact; ``--report-out`` renders the
+survival report from the same sweep (the committed
+``benchmarks/results/SURVIVAL_MATRIX.md`` artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    REGRESSION_FACTOR,
+    load_baseline,
+)
+from repro.scenarios.report import survival_report_from_results
+from repro.scenarios.sweep import run_scenario_matrix
+
+
+def run_matrix(
+    workers: int = 1,
+    log: Optional[Callable[[str], None]] = print,
+) -> Dict[str, object]:
+    """Run the committed matrix; returns the gateable result dict.
+
+    ``completed``/``rejected`` are summed over the matrix runs proper
+    (companions excluded — they exist for the leakage ratio, not the
+    headline counters), ``digest`` is the sweep rollup over everything.
+    """
+    start = time.perf_counter()
+    sweep = run_scenario_matrix(workers=workers, log=None)
+    wall = time.perf_counter() - start
+    matrix_runs = [
+        value
+        for value in sweep.values
+        if not value.get("exclude_noisy", False)
+    ]
+    result: Dict[str, object] = {
+        "digest": sweep.digest,
+        "runs": len(sweep.values),
+        "matrix_runs": len(matrix_runs),
+        "completed": sum(int(v["completed"]) for v in matrix_runs),
+        "rejected": sum(int(v["rejected"]) for v in matrix_runs),
+        "wall_s": round(wall, 3),
+        "workers": workers,
+    }
+    if log is not None:
+        log(
+            f"  scenarios: {result['wall_s']:8.3f}s wall "
+            f"({workers} worker{'s' if workers > 1 else ''}), "
+            f"{result['runs']:>3} runs ({result['matrix_runs']} matrix), "
+            f"{result['completed']:>6} completed, "
+            f"{result['rejected']:>5} rejected, "
+            f"digest {str(sweep.digest)[:12]}…"
+        )
+    result["values"] = list(sweep.values)
+    return result
+
+
+def check_matrix(
+    result: Dict[str, object],
+    baseline: Optional[Dict],
+    gate_wall: bool,
+    log: Optional[Callable[[str], None]] = print,
+) -> bool:
+    """Gate a run against the committed ``scenarios`` section."""
+    committed = (baseline or {}).get("scenarios", {}).get("ci")
+    if committed is None:
+        if log:
+            log(
+                f"no committed scenarios/ci baseline at {BASELINE_PATH}; "
+                "run with --update-baseline"
+            )
+        return True
+    ok = True
+    if committed.get("digest") != result["digest"]:
+        ok = False
+        if log:
+            log(
+                f"DETERMINISM BREAK: scenarios digest "
+                f"{str(result['digest'])[:16]}… != committed "
+                f"{str(committed['digest'])[:16]}…"
+            )
+    for counter in ("runs", "matrix_runs", "completed", "rejected"):
+        if int(committed.get(counter, -1)) != int(result[counter]):
+            ok = False
+            if log:
+                log(
+                    f"COUNT MISMATCH: scenarios {counter} "
+                    f"{result[counter]} != committed {committed.get(counter)}"
+                )
+    base_wall = float(committed.get("wall_s", 0.0))
+    wall = float(result["wall_s"])
+    if gate_wall and base_wall > 0 and wall > REGRESSION_FACTOR * base_wall:
+        ok = False
+        if log:
+            log(
+                f"PERF REGRESSION: scenarios took {wall:.3f}s vs "
+                f"committed {base_wall:.3f}s (>{REGRESSION_FACTOR:.1f}x)"
+            )
+    return ok
+
+
+def _baseline_entry(result: Dict[str, object]) -> Dict[str, object]:
+    """The committed form: gate fields only, per-run summaries dropped."""
+    return {
+        key: value for key, value in result.items() if key != "values"
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf.scenario_matrix",
+        description="Run the chaos-scenario survival matrix and gate its "
+        "digest against the committed BENCH_core.json baseline.",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="spread the matrix over N worker processes "
+        "(digests are identical to a serial run)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the scenarios section of BENCH_core.json with "
+        "this run instead of gating against it",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="report without failing on digest/wall mismatches",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=str,
+        default=None,
+        help="also write this run's result dict as JSON (CI artifact)",
+    )
+    parser.add_argument(
+        "--report-out",
+        type=str,
+        default=None,
+        help="also render the survival report from this sweep to a file",
+    )
+    args = parser.parse_args(argv)
+
+    print("scenario matrix (committed scenarios x policies + companions):")
+    result = run_matrix(workers=args.workers)
+
+    if args.report_out:
+        report = survival_report_from_results(
+            result["values"], digest=str(result["digest"])
+        )
+        with open(args.report_out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.report_out}")
+
+    if args.json_out:
+        payload = {"mode": "ci", "result": _baseline_entry(result)}
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+
+    baseline = load_baseline()
+    if args.update_baseline:
+        baseline = baseline or {}
+        section = baseline.setdefault("scenarios", {})
+        section["ci"] = _baseline_entry(result)
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline scenarios/ci updated: {BASELINE_PATH}")
+        return 0
+
+    if args.no_gate:
+        return 0
+    # Wall-clock is only gated for serial runs: with workers the wall
+    # depends on host contention, while the digest gate still holds.
+    ok = check_matrix(result, baseline, gate_wall=args.workers == 1)
+    print("gate: OK" if ok else "gate: FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

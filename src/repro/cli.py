@@ -7,6 +7,8 @@ Usage::
     python -m repro demo [--seed N]        # run the mixed-workload demo
     python -m repro cluster --nodes 4 --policy cost   # multi-node demo
     python -m repro sweep --workers 4      # parallel policy × seed sweep
+    python -m repro scenario run --name noisy_neighbor --policy baseline
+    python -m repro scenario report        # the survival matrix
     python -m repro classify F1 F2 ...     # classify a feature set
     python -m repro features               # list classification features
     python -m repro backend run            # execute a plan on a real DBMS
@@ -136,6 +138,143 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         + (", serial fallback" if result.fell_back_serial else "")
         + f"); sweep digest {result.digest[:16]}…"
     )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+
+    try:
+        if args.verb == "list":
+            return _scenario_list()
+        if args.verb == "run":
+            return _scenario_run(args)
+        if args.verb == "sweep":
+            return _scenario_sweep(args)
+        return _scenario_report(args)
+    except ConfigurationError as error:
+        print(f"scenario error: {error}", file=sys.stderr)
+        return 2
+
+
+def _scenario_list() -> int:
+    from repro.scenarios import MATRIX_POLICIES, MATRIX_SCENARIOS
+
+    print("Scenarios:")
+    for spec in MATRIX_SCENARIOS:
+        chaos = " [chaos]" if spec.chaos.active else ""
+        noisy = " [noisy]" if spec.has_noisy else ""
+        print(
+            f"  {spec.name:<16} {len(spec.tenants)} tenants, "
+            f"{spec.nodes} nodes, {spec.horizon:.0f}s{chaos}{noisy} "
+            f"— {spec.description}"
+        )
+    print("Policies:")
+    for policy in MATRIX_POLICIES:
+        print(f"  {policy.name:<16} {policy.describe()}")
+    return 0
+
+
+def _scenario_run(args: argparse.Namespace) -> int:
+    from repro.reporting.survival import render_scenario_detail
+    from repro.scenarios import (
+        get_policy,
+        get_scenario,
+        load_scenario_file,
+        run_scenario,
+        summarize_run,
+    )
+
+    if args.spec:
+        spec = load_scenario_file(args.spec)
+    else:
+        spec = get_scenario(args.name)
+    if args.exclude_noisy:
+        spec = spec.without_noisy()
+    policy = get_policy(args.policy)
+    print(
+        f"Running scenario {spec.name!r} under policy {policy.name!r} "
+        f"({policy.describe()}, seed {args.seed}, "
+        f"{spec.horizon:.0f}s horizon, {spec.nodes} nodes)..."
+    )
+    result = run_scenario(spec, policy, seed=args.seed)
+    summary = summarize_run(result)
+    print()
+    print(render_scenario_detail(summary, {}))
+    print()
+    print(f"digest {summary['digest']}")
+    return 0
+
+
+def _scenario_sweep(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.scenarios import run_scenario_matrix
+
+    scenarios = args.scenarios.split(",") if args.scenarios else None
+    policies = args.policies.split(",") if args.policies else None
+    result = run_scenario_matrix(
+        scenarios=scenarios,
+        policies=policies,
+        seeds=args.seeds,
+        workers=args.workers,
+    )
+    header = (
+        f"{'scenario':<16} {'policy':<16} {'companion':>9} {'seed':>5} "
+        f"{'done':>6} {'rej':>5}  digest"
+    )
+    print(header)
+    print("-" * len(header))
+    for value in result.values:
+        companion = "yes" if value.get("exclude_noisy") else ""
+        print(
+            f"{value['scenario']:<16} {value['policy']:<16} "
+            f"{companion:>9} {value['seed']:>5} {value['completed']:>6} "
+            f"{value['rejected']:>5}  {str(value['digest'])[:16]}…"
+        )
+    print()
+    print(
+        f"{len(result.outcomes)} runs in {result.wall_s:.2f}s wall "
+        f"({result.workers} workers); matrix digest {result.digest}"
+    )
+    if args.json:
+        payload = {"digest": result.digest, "results": result.values}
+        with open(args.json, "w") as handle:
+            json_module.dump(payload, handle, indent=2)
+        print(f"wrote results to {args.json}")
+    return 0
+
+
+def _scenario_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.errors import ConfigurationError
+    from repro.scenarios.report import (
+        generate_survival_report,
+        survival_report_from_results,
+    )
+
+    if args.json:
+        try:
+            with open(args.json) as handle:
+                payload = json_module.load(handle)
+        except FileNotFoundError:
+            raise ConfigurationError(f"results file not found: {args.json}")
+        except json_module.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"malformed results JSON in {args.json}: {error}"
+            )
+        report = survival_report_from_results(
+            payload.get("results", []), digest=payload.get("digest", "")
+        )
+    else:
+        report, _ = generate_survival_report(workers=args.workers)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote survival report to {args.out}")
+    else:
+        print(report)
     return 0
 
 
@@ -460,6 +599,61 @@ def build_parser() -> argparse.ArgumentParser:
     backend.add_argument("--trace-in", default=None, metavar="FILE",
                          help="trace to calibrate from (calibrate verb)")
     backend.set_defaults(func=_cmd_backend)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="multi-tenant chaos scenarios and the survival report",
+    )
+    scenario.add_argument(
+        "verb",
+        choices=["run", "sweep", "report", "list"],
+        help="run one scenario, sweep the matrix, render the survival "
+        "report, or list scenarios and policies",
+    )
+    scenario.add_argument(
+        "--name", default="noisy_neighbor",
+        help="scenario name from the matrix (run verb)",
+    )
+    scenario.add_argument(
+        "--policy", default="baseline",
+        help="isolation policy name (run verb)",
+    )
+    scenario.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="load the scenario from a .json/.yaml spec file instead "
+        "of the matrix (run verb)",
+    )
+    scenario.add_argument(
+        "--exclude-noisy", action="store_true",
+        help="drop the noisy tenants (the leakage companion run)",
+    )
+    scenario.add_argument("--seed", type=int, default=42)
+    scenario.add_argument(
+        "--seeds", type=int, nargs="+", default=[42],
+        help="seed replications (sweep verb)",
+    )
+    scenario.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated scenario subset (sweep verb)",
+    )
+    scenario.add_argument(
+        "--policies", default=None,
+        help="comma-separated policy subset (sweep verb)",
+    )
+    scenario.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for sweep/report",
+    )
+    scenario.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="sweep: write results JSON here; report: read results "
+        "JSON from here instead of re-running",
+    )
+    scenario.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the survival report here instead of stdout",
+    )
+    scenario.set_defaults(func=_cmd_scenario)
 
     features = subparsers.add_parser("features", help="list feature names")
     features.set_defaults(func=_cmd_features)

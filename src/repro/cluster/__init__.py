@@ -28,6 +28,7 @@ from repro.cluster.dispatcher import (
     PullBinding,
     PushBinding,
     make_binding,
+    tenant_key,
 )
 from repro.cluster.elastic import ElasticProvisioner, ProvisioningDecision
 from repro.cluster.failover import FaultEvent, FaultInjector, FaultKind, FaultPlan
@@ -102,4 +103,5 @@ __all__ = [
     "replicate_cluster_scenario",
     "run_cluster_scenario",
     "run_matcher_scenario",
+    "tenant_key",
 ]

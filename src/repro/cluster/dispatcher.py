@@ -41,7 +41,7 @@ from repro.cluster.matcher import Matcher
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.node import ClusterNode, NodeHealth
 from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
-from repro.cluster.taskqueue import RequirementsFn, TaskQueue
+from repro.cluster.taskqueue import KeyFn, RequirementsFn, TaskQueue
 from repro.core.interfaces import AdmissionDecision
 from repro.core.sla import SLASet
 from repro.engine.query import Query, QueryState
@@ -53,6 +53,26 @@ CompletionListener = Callable[[Query], None]
 
 #: Binding-policy names accepted by the ``dispatch`` parameter / CLI.
 DISPATCH_MODES = ("push", "pull")
+
+#: Extracts a query's tenant for quota accounting; ``None`` exempts it.
+TenantFn = Callable[[Query], Optional[str]]
+
+
+def tenant_key(query: Query) -> Optional[str]:
+    """Default tenant extraction: the ``tenant/`` prefix of the class key.
+
+    Multi-tenant scenarios name their workloads ``tenant/workload`` (the
+    generator's sql tag is then ``tenant/workload:class``), so the part
+    before the first ``/`` is the tenant.  Queries without the prefix —
+    every single-tenant scenario in the repo — belong to no tenant and
+    are exempt from tenant quotas.
+    """
+    key = query.workload_name
+    if not key and ":" in query.sql:
+        key = query.sql.split(":", 1)[0]
+    if key and "/" in key:
+        return key.split("/", 1)[0]
+    return None
 
 
 class BindingPolicy(abc.ABC):
@@ -177,9 +197,11 @@ class PullBinding(BindingPolicy):
         self,
         class_shares: Optional[Dict[str, float]] = None,
         requirements_fn: Optional[RequirementsFn] = None,
+        key_fn: Optional[KeyFn] = None,
     ) -> None:
         self._class_shares = class_shares
         self._requirements_fn = requirements_fn
+        self._key_fn = key_fn
         self.taskqueue: Optional[TaskQueue] = None
         self.matcher: Optional[Matcher] = None
 
@@ -188,6 +210,7 @@ class PullBinding(BindingPolicy):
         self.taskqueue = TaskQueue(
             class_shares=self._class_shares,
             requirements_fn=self._requirements_fn,
+            key_fn=self._key_fn,
         )
         self.matcher = Matcher(
             dispatcher.nodes,
@@ -240,13 +263,16 @@ def make_binding(
     dispatch: str,
     class_shares: Optional[Dict[str, float]] = None,
     requirements_fn: Optional[RequirementsFn] = None,
+    key_fn: Optional[KeyFn] = None,
 ) -> BindingPolicy:
     """Build a binding policy from its short CLI name."""
     if dispatch == "push":
         return PushBinding()
     if dispatch == "pull":
         return PullBinding(
-            class_shares=class_shares, requirements_fn=requirements_fn
+            class_shares=class_shares,
+            requirements_fn=requirements_fn,
+            key_fn=key_fn,
         )
     raise ConfigurationError(
         f"unknown dispatch mode {dispatch!r}; one of {DISPATCH_MODES}"
@@ -284,6 +310,14 @@ class ClusterDispatcher:
     binding:
         Explicit binding policy instance (overrides ``dispatch``) —
         how pull runs get custom class shares or requirement tags.
+    tenant_quotas:
+        ``{tenant: max outstanding}`` cluster-tier admission quotas.  A
+        tenant at its quota has new arrivals cluster-rejected at intake
+        — the noisy neighbor's flood bounces at the front door instead
+        of burying every queue.  ``None`` (default) disables quotas.
+    tenant_of:
+        Tenant extractor for quota accounting; defaults to
+        :func:`tenant_key`.  Queries mapping to ``None`` are exempt.
     """
 
     def __init__(
@@ -297,6 +331,8 @@ class ClusterDispatcher:
         cache_eligible: bool = True,
         dispatch: str = "push",
         binding: Optional[BindingPolicy] = None,
+        tenant_quotas: Optional[Dict[str, int]] = None,
+        tenant_of: Optional[TenantFn] = None,
     ) -> None:
         if not nodes:
             raise ConfigurationError("a cluster needs at least one node")
@@ -305,6 +341,11 @@ class ClusterDispatcher:
             raise ConfigurationError(f"duplicate node names: {names}")
         if max_queue_depth is not None and max_queue_depth < 0:
             raise ConfigurationError("max_queue_depth must be >= 0 or None")
+        for tenant, quota in (tenant_quotas or {}).items():
+            if quota < 0:
+                raise ConfigurationError(
+                    f"tenant quota for {tenant!r} must be >= 0, got {quota}"
+                )
         self.sim = sim
         self.nodes = list(nodes)
         self.placement = placement or RoundRobinPlacement()
@@ -314,6 +355,11 @@ class ClusterDispatcher:
         self.sessions = SessionRegistry()
         self.binding = binding if binding is not None else make_binding(dispatch)
         self.binding.attach(self)
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self.tenant_of = tenant_of or tenant_key
+        self._tenant_outstanding: Dict[str, int] = {}
+        self._query_tenant: Dict[int, str] = {}
+        self.quota_rejections: Dict[str, int] = {}
         self._listeners: List[CompletionListener] = []
         self._excluded: Dict[int, Set[str]] = {}  # query_id -> nodes that refused
         self.arrivals = 0
@@ -351,7 +397,28 @@ class ClusterDispatcher:
         if query.submit_time is None:
             query.submit_time = self.sim.now
         self.arrivals += 1
+        tenant = self.tenant_of(query) if self.tenant_quotas else None
+        if tenant is not None:
+            quota = self.tenant_quotas.get(tenant)
+            if (
+                quota is not None
+                and self._tenant_outstanding.get(tenant, 0) >= quota
+            ):
+                self.quota_rejections[tenant] = (
+                    self.quota_rejections.get(tenant, 0) + 1
+                )
+                self._cluster_reject(query)
+                return
+            # quota accounting follows the query to its terminal outcome
+            self._query_tenant[query.query_id] = tenant
+            self._tenant_outstanding[tenant] = (
+                self._tenant_outstanding.get(tenant, 0) + 1
+            )
         self._route(query)
+
+    def tenant_outstanding(self, tenant: str) -> int:
+        """Requests a tenant currently has anywhere in the cluster."""
+        return self._tenant_outstanding.get(tenant, 0)
 
     def resubmit(self, query: Query, delay: float = 0.0) -> None:
         """Re-enter a request whose previous placement was lost.
@@ -427,7 +494,7 @@ class ClusterDispatcher:
         query.transition(QueryState.REJECTED)
         query.end_time = self.sim.now
         self.rejections += 1
-        self.metrics.record_cluster_rejection(query)
+        self.metrics.record_cluster_rejection(query, key=self.tenant_of(query))
         self._notify(query)
 
     # ------------------------------------------------------------------
@@ -533,6 +600,9 @@ class ClusterDispatcher:
         self._listeners.append(listener)
 
     def _notify(self, query: Query) -> None:
+        tenant = self._query_tenant.pop(query.query_id, None)
+        if tenant is not None:
+            self._tenant_outstanding[tenant] -= 1
         for listener in list(self._listeners):
             listener(query)
 

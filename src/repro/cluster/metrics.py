@@ -50,6 +50,8 @@ class ClusterMetrics:
         self.replacements = 0          # re-placed after a node-local rejection
         self.resubmissions = 0         # crash-lost work resubmitted
         self.cluster_rejections = 0
+        #: cluster rejections bucketed by tenant (multi-tenant scenarios)
+        self.cluster_rejections_by_key: Dict[str, int] = {}
         self.health_changes: List[HealthChange] = []
 
     # ------------------------------------------------------------------
@@ -65,8 +67,14 @@ class ClusterMetrics:
     def record_resubmission(self, query: Query) -> None:
         self.resubmissions += 1
 
-    def record_cluster_rejection(self, query: Query) -> None:
+    def record_cluster_rejection(
+        self, query: Query, key: Optional[str] = None
+    ) -> None:
         self.cluster_rejections += 1
+        if key is not None:
+            self.cluster_rejections_by_key[key] = (
+                self.cluster_rejections_by_key.get(key, 0) + 1
+            )
 
     def record_health(self, time: float, node: ClusterNode) -> None:
         self.health_changes.append(HealthChange(time, node.name, node.health))

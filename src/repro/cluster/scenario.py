@@ -14,9 +14,14 @@ deterministic code path.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.dispatcher import (
+    ClusterDispatcher,
+    TenantFn,
+    make_binding,
+    tenant_key,
+)
 from repro.cluster.failover import (
     FaultEvent,
     FaultInjector,
@@ -60,6 +65,10 @@ def build_cluster(
     cache_eligible: bool = True,
     dispatch: str = "push",
     speed_factors: Optional[Sequence[float]] = None,
+    scheduler_factory: Optional[Callable[[], object]] = None,
+    tenant_quotas: Optional[Dict[str, int]] = None,
+    tenant_shares: Optional[Dict[str, float]] = None,
+    tenant_of: Optional[TenantFn] = None,
 ) -> ClusterDispatcher:
     """A cluster of ``nodes`` active + ``standby`` spares.
 
@@ -69,6 +78,18 @@ def build_cluster(
     ``dispatch`` selects the binding policy — ``"push"`` places on
     arrival through ``policy``, ``"pull"`` late-binds through the task
     queue + matcher.
+
+    The multi-tenant knobs (scenario suite):
+
+    * ``scheduler_factory`` — zero-argument factory called once per
+      node to build its wait-queue scheduler (e.g. a
+      :class:`~repro.scheduling.queues.TenantShareScheduler` holding
+      per-tenant MPL reservations); ``None`` keeps each node's default;
+    * ``tenant_quotas`` — cluster-tier per-tenant admission quotas,
+      forwarded to the dispatcher;
+    * ``tenant_shares`` — per-tenant dispatch shares for *pull* mode:
+      the task queue buckets by tenant instead of workload class and
+      splits dispatch slots by these weights (ignored under push).
     """
     slas = CLUSTER_SLAS if slas is None else slas
     cluster_nodes = [
@@ -78,6 +99,7 @@ def build_cluster(
             machine=machine or NODE_MACHINE,
             mpl=mpl,
             max_outstanding=max_outstanding,
+            scheduler=scheduler_factory() if scheduler_factory else None,
             control_period=control_period,
             heartbeat_period=heartbeat_period,
             health=NodeHealth.UP if index < nodes else NodeHealth.STANDBY,
@@ -89,6 +111,13 @@ def build_cluster(
         )
         for index in range(nodes + standby)
     ]
+    binding = None
+    if tenant_shares and dispatch == "pull":
+        binding = make_binding(
+            "pull",
+            class_shares=tenant_shares,
+            key_fn=lambda query: tenant_key(query) or "<untenanted>",
+        )
     return ClusterDispatcher(
         sim,
         cluster_nodes,
@@ -98,6 +127,9 @@ def build_cluster(
         control_period=control_period,
         cache_eligible=cache_eligible,
         dispatch=dispatch,
+        binding=binding,
+        tenant_quotas=tenant_quotas,
+        tenant_of=tenant_of,
     )
 
 

@@ -36,6 +36,11 @@ from repro.engine.query import Query
 #: (``None``) requires nothing, so every node is capability-eligible.
 RequirementsFn = Callable[[Query], FrozenSet[str]]
 
+#: Derives an entry's share-bucket key from the query; the default
+#: (``None``) buckets by workload class.  Multi-tenant scenarios pass a
+#: tenant extractor here so shares split dispatch *between tenants*.
+KeyFn = Callable[[Query], str]
+
 NO_REQUIREMENTS: FrozenSet[str] = frozenset()
 
 
@@ -64,7 +69,7 @@ class _ClassBucket:
     """Per-class heap of entries plus the share bookkeeping."""
 
     share: float
-    served: int = 0
+    served: float = 0.0
     heap: List[tuple] = field(default_factory=list)  # (sort_key, entry)
 
     @property
@@ -93,6 +98,11 @@ class TaskQueue:
         Optional ``query -> frozenset`` deriving requirement tags per
         entry (e.g. route ``bi`` queries only to ``"big-memory"``
         nodes).  ``None`` means no entry requires anything.
+    key_fn:
+        Optional ``query -> str`` deriving the share-bucket key.  The
+        default buckets by workload class (``workload_name`` or the
+        ``name:`` sql prefix); tenant-isolated clusters pass a tenant
+        extractor so ``class_shares`` become per-tenant queue shares.
     """
 
     def __init__(
@@ -100,6 +110,7 @@ class TaskQueue:
         class_shares: Optional[Dict[str, float]] = None,
         default_share: float = 1.0,
         requirements_fn: Optional[RequirementsFn] = None,
+        key_fn: Optional[KeyFn] = None,
     ) -> None:
         if default_share <= 0:
             raise ValueError("default_share must be > 0")
@@ -109,6 +120,7 @@ class TaskQueue:
         self.class_shares = dict(class_shares or {})
         self.default_share = default_share
         self.requirements_fn = requirements_fn
+        self.key_fn = key_fn
         self._buckets: Dict[str, _ClassBucket] = {}
         self._seq = 0
         self._len = 0
@@ -117,6 +129,8 @@ class TaskQueue:
     # intake
     # ------------------------------------------------------------------
     def _class_key(self, query: Query) -> str:
+        if self.key_fn is not None:
+            return self.key_fn(query)
         if query.workload_name:
             return query.workload_name
         if ":" in query.sql:
@@ -149,9 +163,34 @@ class TaskQueue:
         )
         self._seq += 1
         bucket = self._bucket(workload)
+        if not bucket.heap:
+            self._level_refilled(bucket)
         heapq.heappush(bucket.heap, (entry.sort_key, entry))
         self._len += 1
         return entry
+
+    def _level_refilled(self, bucket: _ClassBucket) -> None:
+        """Reset share credit for a bucket going empty → non-empty.
+
+        Deficit must not accumulate while a class/tenant has no eligible
+        work: a bucket that sat empty keeps its old ``served`` count, so
+        its deficit freezes while the classes actually being served pull
+        ahead.  Left alone, the refilled bucket would then monopolize
+        dispatch until it "caught up" on share it never had work for —
+        starving everyone else.  Instead, a refilled bucket re-enters
+        level with the least-served *backlogged* bucket: the fair split
+        applies from now on, not retroactively.
+        """
+        active = [
+            other.deficit
+            for other in self._buckets.values()
+            if other.heap and other is not bucket
+        ]
+        if not active:
+            return
+        floor = min(active)
+        if bucket.deficit < floor:
+            bucket.served = floor * max(bucket.share, 1e-9)
 
     # ------------------------------------------------------------------
     # matching

@@ -168,6 +168,34 @@ def run_cluster_task(
     return summary
 
 
+@register_task("scenario")
+def run_scenario_task(
+    seed: int = 42,
+    scenario: str = "noisy_neighbor",
+    policy: str = "baseline",
+    exclude_noisy: bool = False,
+    drain: Optional[float] = None,
+) -> Dict[str, object]:
+    """One seeded multi-tenant scenario run, summarized.
+
+    ``scenario`` and ``policy`` are matrix names resolved in the worker
+    (task descriptors stay picklable primitives); ``exclude_noisy``
+    runs the leakage companion — the same scenario with its antagonist
+    tenants removed.  The summary dict carries per-tenant conservation
+    ledgers, SLA verdicts and the scenario digest.
+    """
+    from repro.scenarios import get_policy, get_scenario, run_scenario
+    from repro.scenarios.runner import summarize_run
+
+    spec = get_scenario(scenario)
+    if exclude_noisy:
+        spec = spec.without_noisy()
+    result = run_scenario(spec, get_policy(policy), seed=seed, drain=drain)
+    summary = summarize_run(result)
+    summary["exclude_noisy"] = bool(exclude_noisy)
+    return summary
+
+
 @register_task("matcher")
 def run_matcher_task(
     seed: int = 42,

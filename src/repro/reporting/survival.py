@@ -1,0 +1,179 @@
+"""The taxonomy survival matrix: scenario × policy, rendered.
+
+Consumes the summary dicts the scenario sweep produces
+(:func:`repro.scenarios.runner.summarize_run`) and renders the
+markdown/ASCII report: a top-level survival grid — per scenario ×
+policy, how many tenant SLAs held — followed by per-scenario detail
+tables (per-tenant ledger, p95 per class, rejections, isolation
+leakage).  Pure string building over already-reduced data, so the
+report is byte-identical whenever the sweep digest is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt(value: Optional[float], precision: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{precision}f}"
+
+
+def _fmt_leak(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}x"
+
+
+def tenant_leakage(
+    summary: Dict[str, object], companion: Optional[Dict[str, object]]
+) -> Dict[str, Optional[float]]:
+    """Per-tenant isolation leakage against the companion run.
+
+    Leakage is the worst per-workload p95 ratio between the run with
+    the noisy tenants present and the companion run without them —
+    1.0x means perfect isolation, 5x means the well-behaved tenant's
+    tail latency quintupled because of its neighbors.  ``None`` when
+    there is no companion (scenario has no noisy tenants) or no
+    overlapping data.
+    """
+    out: Dict[str, Optional[float]] = {}
+    tenants: Dict[str, dict] = summary["tenants"]  # type: ignore[assignment]
+    if companion is None:
+        return {name: None for name in tenants}
+    base_tenants: Dict[str, dict] = companion["tenants"]  # type: ignore[assignment]
+    for name, info in tenants.items():
+        if info.get("noisy") or name not in base_tenants:
+            out[name] = None
+            continue
+        worst: Optional[float] = None
+        base_workloads = base_tenants[name]["workloads"]
+        for label, workload in info["workloads"].items():
+            p95 = workload.get("p95")
+            base_p95 = base_workloads.get(label, {}).get("p95")
+            if p95 is None or base_p95 is None or base_p95 <= 0:
+                continue
+            ratio = p95 / base_p95
+            if worst is None or ratio > worst:
+                worst = ratio
+        out[name] = worst
+    return out
+
+
+def _sla_cell(summary: Dict[str, object]) -> str:
+    met = total = 0
+    for info in summary["tenants"].values():  # type: ignore[union-attr]
+        met += info["sla_met"]
+        total += info["sla_total"]
+    if total == 0:
+        return "no SLAs"
+    mark = "OK" if met == total else "BREACH"
+    return f"{met}/{total} SLA {mark}"
+
+
+def render_survival_matrix(
+    scenarios: Sequence[str],
+    policies: Sequence[str],
+    cells: Dict[tuple, Dict[str, object]],
+    leakage: Dict[tuple, Dict[str, Optional[float]]],
+) -> str:
+    """The top-level markdown grid: one row per scenario."""
+    lines = [
+        "| scenario | " + " | ".join(policies) + " |",
+        "|---" * (len(policies) + 1) + "|",
+    ]
+    for scenario in scenarios:
+        row = [scenario]
+        for policy in policies:
+            summary = cells.get((scenario, policy))
+            if summary is None:
+                row.append("-")
+                continue
+            cell = _sla_cell(summary)
+            leaks = [
+                value
+                for value in leakage.get((scenario, policy), {}).values()
+                if value is not None
+            ]
+            if leaks:
+                cell += f", leak {_fmt_leak(max(leaks))}"
+            row.append(cell)
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_scenario_detail(
+    summary: Dict[str, object],
+    leakage: Dict[str, Optional[float]],
+) -> str:
+    """One scenario × policy detail block: the per-tenant table."""
+    header = (
+        f"{'tenant':<10} {'intake':>7} {'done':>7} {'rej':>6} {'kill':>5} "
+        f"{'quota-rej':>9} {'p95 (per class)':<26} {'SLA':<8} {'leak':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(summary["tenants"]):  # type: ignore[call-overload]
+        info = summary["tenants"][name]  # type: ignore[index]
+        p95s = ", ".join(
+            f"{label}={_fmt(workload['p95'])}"
+            for label, workload in sorted(info["workloads"].items())
+        )
+        if info["sla_total"]:
+            verdict = (
+                "MET"
+                if info["sla_met"] == info["sla_total"]
+                else f"MISS {info['sla_total'] - info['sla_met']}"
+            )
+        else:
+            verdict = "-"
+        rejected = info["rejected"]
+        tag = " (noisy)" if info.get("noisy") else ""
+        lines.append(
+            f"{name + tag:<10} {info['intake']:>7} {info['completed']:>7} "
+            f"{rejected:>6} {info['killed']:>5} "
+            f"{info['quota_rejections']:>9} {p95s:<26.26} {verdict:<8} "
+            f"{_fmt_leak(leakage.get(name)):>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_survival_report(
+    scenarios: Sequence[str],
+    policies: Sequence[str],
+    cells: Dict[tuple, Dict[str, object]],
+    leakage: Dict[tuple, Dict[str, Optional[float]]],
+    digest: str = "",
+    title: str = "Scenario survival matrix",
+) -> str:
+    """The full report: the grid plus every detail block."""
+    parts: List[str] = [f"# {title}", ""]
+    if digest:
+        parts.append(f"Matrix digest: `{digest}`")
+        parts.append("")
+    parts.append(
+        "Cells: tenant SLAs met / declared; `leak` is the worst "
+        "well-behaved-tenant p95 ratio vs. the same run without its "
+        "noisy neighbors (1.00x = perfect isolation)."
+    )
+    parts.append("")
+    parts.append(
+        render_survival_matrix(scenarios, policies, cells, leakage)
+    )
+    for scenario in scenarios:
+        for policy in policies:
+            summary = cells.get((scenario, policy))
+            if summary is None:
+                continue
+            parts.append("")
+            parts.append(f"## {scenario} × {policy}")
+            parts.append("")
+            parts.append("```")
+            parts.append(
+                render_scenario_detail(
+                    summary, leakage.get((scenario, policy), {})
+                )
+            )
+            parts.append("```")
+    parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,301 @@
+"""Run one scenario under one isolation policy; summarize it.
+
+:func:`run_scenario` assembles the cluster a :class:`PolicyConfig`
+describes — per-tenant node schedulers, admission quotas, queue shares
+— drives every tenant's arrival streams over it, arms the chaos
+timeline, runs to the horizon plus a drain window and returns a
+:class:`ScenarioResult` carrying the live dispatcher plus the tenant
+conservation ledger.  :func:`summarize_run` reduces that to the small
+picklable dict the parallel sweep, the report and the benchmarks
+consume, including the run's SHA-256 digest (cluster digest + tenant
+ledger — the determinism contract for the whole suite).
+
+Conservation ledger: intake is counted on the generator→dispatcher
+seam, terminal outcomes on the dispatcher's client-visible completion
+funnel.  Crash-killed work is resubmitted internally (never surfaced
+as a terminal outcome), so for every tenant::
+
+    intake == completed + rejected + killed + in_flight
+
+holds exactly, churn or no churn — the property the hypothesis tests
+pin.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.dispatcher import ClusterDispatcher, tenant_key
+from repro.cluster.failover import FaultInjector
+from repro.cluster.scenario import build_cluster
+from repro.core.sla import SLASet, response_time_sla
+from repro.engine.query import Query, QueryState
+from repro.engine.simulator import Simulator
+from repro.parallel.digest import dispatcher_digest
+from repro.scenarios.spec import PolicyConfig, ScenarioSpec, WorkloadPattern
+from repro.scheduling.queues import TenantShareScheduler
+from repro.workloads.generator import Scenario, WorkloadGenerator
+
+UNTENANTED = "<untenanted>"
+
+
+def scenario_slas(spec: ScenarioSpec) -> SLASet:
+    """The SLASet over every tenant workload that declares targets."""
+    agreements = []
+    for tenant in spec.tenants:
+        for pattern in tenant.workloads:
+            if pattern.sla is None or not pattern.sla.has_goals:
+                continue
+            agreements.append(
+                response_time_sla(
+                    f"{tenant.name}/{pattern.effective_label}",
+                    average=pattern.sla.average,
+                    p95=pattern.sla.p95,
+                    importance=pattern.sla.importance,
+                )
+            )
+    return SLASet(agreements)
+
+
+@dataclass
+class ScenarioResult:
+    """A finished scenario run: live dispatcher + tenant ledger."""
+
+    spec: ScenarioSpec
+    policy: PolicyConfig
+    seed: int
+    dispatcher: ClusterDispatcher
+    generator: WorkloadGenerator
+    intake: Dict[str, int] = field(default_factory=dict)
+    outcomes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    traces: Tuple["TraceTenant", ...] = ()  # noqa: F821 - scenarios.trace
+
+    def tenant_ledger(self, tenant: str) -> Dict[str, int]:
+        """``{intake, completed, rejected, killed, in_flight}`` for one
+        tenant; ``in_flight`` is the conservation remainder."""
+        terminal = self.outcomes.get(tenant, {})
+        intake = self.intake.get(tenant, 0)
+        completed = terminal.get("completed", 0)
+        rejected = terminal.get("rejected", 0)
+        killed = terminal.get("killed", 0)
+        return {
+            "intake": intake,
+            "completed": completed,
+            "rejected": rejected,
+            "killed": killed,
+            "in_flight": intake - completed - rejected - killed,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the cluster digest plus the tenant ledger."""
+        h = sha256()
+        h.update(dispatcher_digest(self.dispatcher).encode("ascii"))
+        for tenant in sorted(set(self.intake) | set(self.outcomes)):
+            ledger = self.tenant_ledger(tenant)
+            h.update(tenant.encode("utf-8"))
+            h.update(
+                struct.pack(
+                    "<qqqq",
+                    ledger["intake"],
+                    ledger["completed"],
+                    ledger["rejected"],
+                    ledger["killed"],
+                )
+            )
+        return h.hexdigest()
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    policy: PolicyConfig,
+    seed: int = 42,
+    drain: Optional[float] = None,
+    sim: Optional[Simulator] = None,
+    traces: Sequence["TraceTenant"] = (),  # noqa: F821 - scenarios.trace
+) -> ScenarioResult:
+    """Run ``spec`` under ``policy``; returns the live result.
+
+    ``traces`` adds trace-driven tenants
+    (:func:`repro.scenarios.trace.trace_tenant`) alongside the spec's
+    declarative ones — same intake seam, same quota/share machinery.
+    """
+    sim = sim or Simulator(seed=seed)
+    slas = scenario_slas(spec)
+    shares = spec.shares()
+    dispatcher = build_cluster(
+        sim,
+        nodes=spec.nodes,
+        policy=policy.placement,
+        mpl=spec.mpl,
+        max_queue_depth=spec.max_queue_depth,
+        slas=slas,
+        dispatch=policy.dispatch,
+        scheduler_factory=(
+            (lambda: TenantShareScheduler(spec.mpl, shares))
+            if policy.node_shares and shares
+            else None
+        ),
+        tenant_quotas=spec.quotas() if policy.cluster_quotas else None,
+        tenant_shares=shares if policy.queue_shares else None,
+    )
+    result = ScenarioResult(
+        spec=spec,
+        policy=policy,
+        seed=seed,
+        dispatcher=dispatcher,
+        generator=None,  # type: ignore[arg-type]  # set below
+    )
+
+    def submit(query: Query) -> None:
+        tenant = tenant_key(query) or UNTENANTED
+        result.intake[tenant] = result.intake.get(tenant, 0) + 1
+        dispatcher.submit(query)
+
+    def on_terminal(query: Query) -> None:
+        tenant = tenant_key(query) or UNTENANTED
+        bucket = result.outcomes.setdefault(
+            tenant, {"completed": 0, "rejected": 0, "killed": 0}
+        )
+        if query.state is QueryState.COMPLETED:
+            bucket["completed"] += 1
+        elif query.state is QueryState.REJECTED:
+            bucket["rejected"] += 1
+        else:
+            bucket["killed"] += 1
+
+    workload_scenario = Scenario(
+        specs=tuple(
+            pattern.build(tenant.name)
+            for tenant in spec.tenants
+            for pattern in tenant.workloads
+        ),
+        horizon=spec.horizon,
+    )
+    generator = workload_scenario.build(
+        sim, submit, sessions=dispatcher.sessions
+    )
+    result.generator = generator
+    result.traces = tuple(traces)
+    dispatcher.add_completion_listener(on_terminal)
+    dispatcher.add_completion_listener(generator.notify_done)
+    dispatcher.generator = generator
+    for trace in result.traces:
+        trace.schedule(sim, submit, horizon=spec.horizon)
+
+    plan = spec.chaos.build_plan(spec.nodes, spec.horizon)
+    if plan is not None:
+        injector = FaultInjector(dispatcher)
+        injector.arm(plan)
+        dispatcher.injector = injector
+
+    dispatcher.run(
+        spec.horizon, drain=spec.horizon if drain is None else drain
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# summarization (the picklable reduction the sweep and report consume)
+# ----------------------------------------------------------------------
+def _sla_section(
+    pattern: WorkloadPattern, mean: Optional[float], p95: Optional[float]
+) -> Optional[dict]:
+    if pattern.sla is None or not pattern.sla.has_goals:
+        return None
+    checks: List[bool] = []
+    section: Dict[str, object] = {
+        "average_target": pattern.sla.average,
+        "p95_target": pattern.sla.p95,
+        "importance": pattern.sla.importance,
+    }
+    if pattern.sla.average is not None:
+        checks.append(mean is not None and mean <= pattern.sla.average)
+    if pattern.sla.p95 is not None:
+        checks.append(p95 is not None and p95 <= pattern.sla.p95)
+    section["met"] = all(checks) if checks else None
+    return section
+
+
+def summarize_run(result: ScenarioResult) -> Dict[str, object]:
+    """Reduce a run to the sweep/report dict (small, picklable)."""
+    dispatcher = result.dispatcher
+    spec = result.spec
+    tenants: Dict[str, dict] = {}
+    for tenant in spec.tenants:
+        ledger = result.tenant_ledger(tenant.name)
+        workloads: Dict[str, dict] = {}
+        sla_total = sla_met = 0
+        for pattern in tenant.workloads:
+            name = f"{tenant.name}/{pattern.effective_label}"
+            roll = dispatcher.metrics.rollup(name)
+            sla = _sla_section(
+                pattern, roll.mean_response_time, roll.p95_response_time
+            )
+            if sla is not None:
+                sla_total += 1
+                sla_met += 1 if sla["met"] else 0
+            workloads[pattern.effective_label] = {
+                "completions": roll.completions,
+                "node_rejections": roll.rejections,
+                "kills": roll.kills,
+                "mean": roll.mean_response_time,
+                "p95": roll.p95_response_time,
+                "sla": sla,
+            }
+        tenants[tenant.name] = {
+            **ledger,
+            "noisy": tenant.noisy,
+            "share": tenant.share,
+            "quota": tenant.quota,
+            "quota_rejections": dispatcher.quota_rejections.get(
+                tenant.name, 0
+            ),
+            "cluster_rejections": (
+                dispatcher.metrics.cluster_rejections_by_key.get(
+                    tenant.name, 0
+                )
+            ),
+            "sla_met": sla_met,
+            "sla_total": sla_total,
+            "workloads": workloads,
+        }
+    for trace in result.traces:
+        roll = dispatcher.metrics.rollup(trace.workload_name)
+        tenants[trace.name] = {
+            **result.tenant_ledger(trace.name),
+            "noisy": False,
+            "share": 1.0,
+            "quota": None,
+            "quota_rejections": dispatcher.quota_rejections.get(trace.name, 0),
+            "cluster_rejections": (
+                dispatcher.metrics.cluster_rejections_by_key.get(trace.name, 0)
+            ),
+            "sla_met": 0,
+            "sla_total": 0,
+            "workloads": {
+                trace.label: {
+                    "completions": roll.completions,
+                    "node_rejections": roll.rejections,
+                    "kills": roll.kills,
+                    "mean": roll.mean_response_time,
+                    "p95": roll.p95_response_time,
+                    "sla": None,
+                }
+            },
+        }
+    return {
+        "scenario": spec.name,
+        "policy": result.policy.name,
+        "seed": result.seed,
+        "arrivals": dispatcher.arrivals,
+        "completed": dispatcher.completions,
+        "rejected": dispatcher.rejections,
+        "resubmitted": dispatcher.resubmissions,
+        "sim_time": dispatcher.sim.now,
+        "events": dispatcher.sim.events_fired,
+        "tenants": tenants,
+        "digest": result.digest(),
+    }

@@ -1,0 +1,99 @@
+"""Trace-driven tenants: a captured query log as an arrival source.
+
+A JSONL trace captured from a real run (``QueryLog.to_jsonl`` — the
+backend harness writes these, see ``python -m repro backend run
+--trace-out``) becomes one tenant of a scenario: every record replays
+at its original submit time with its logged costs, relabeled into the
+``tenant/label:class`` namespace so quotas, shares and the survival
+report treat it exactly like a declaratively specified tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.engine.query import Query
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.workloads.traces import QueryLog
+
+
+@dataclass(frozen=True)
+class TraceTenant:
+    """One tenant whose arrivals and costs come from a captured trace.
+
+    ``queries``/``times`` are aligned: query ``i`` is submitted at
+    ``times[i]`` (original trace time, optionally scaled).  The sql tag
+    is already rewritten to ``tenant/label:class``.
+    """
+
+    name: str
+    label: str
+    queries: Tuple[Query, ...]
+    times: Tuple[float, ...]
+
+    @property
+    def workload_name(self) -> str:
+        return f"{self.name}/{self.label}"
+
+    def schedule(
+        self,
+        sim: Simulator,
+        submit: Callable[[Query], None],
+        horizon: Optional[float] = None,
+    ) -> int:
+        """Schedule every in-horizon arrival; returns how many."""
+        count = 0
+        for query, time in zip(self.queries, self.times):
+            if horizon is not None and time >= horizon:
+                continue
+            sim.schedule_at(
+                time,
+                lambda q=query: submit(q),
+                label=f"arrival:{self.workload_name}",
+            )
+            count += 1
+        return count
+
+
+def _class_of(sql: str) -> str:
+    if ":" in sql:
+        suffix = sql.split(":", 1)[1]
+        return suffix or "replay"
+    return "replay"
+
+
+def trace_tenant(
+    source: Union[str, Path, QueryLog],
+    tenant: str,
+    label: str = "trace",
+    priority: Optional[int] = None,
+    time_scale: float = 1.0,
+) -> TraceTenant:
+    """Wrap a trace (path to JSONL, or a loaded log) as one tenant.
+
+    ``time_scale`` stretches or compresses the original schedule
+    (0.5 = replay twice as fast); ``priority`` overrides every
+    record's priority when given.
+    """
+    if "/" in tenant or ":" in tenant or not tenant:
+        raise ConfigurationError(
+            f"tenant name {tenant!r} must be non-empty without '/' or ':'"
+        )
+    if time_scale <= 0:
+        raise ConfigurationError(f"time_scale must be > 0, got {time_scale}")
+    log = source if isinstance(source, QueryLog) else QueryLog.from_jsonl(source)
+    if len(log) == 0:
+        raise ConfigurationError("trace has no records to replay")
+    queries: List[Query] = []
+    for query in log.replay_queries():
+        query.sql = f"{tenant}/{label}:{_class_of(query.sql)}"
+        if priority is not None:
+            query.priority = priority
+        queries.append(query)
+    times = tuple(t * time_scale for t in log.arrival_schedule())
+    return TraceTenant(
+        name=tenant, label=label, queries=tuple(queries), times=times
+    )

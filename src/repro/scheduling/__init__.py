@@ -19,6 +19,8 @@ from repro.scheduling.queues import (
     PriorityScheduler,
     ShortestJobFirstScheduler,
     MultiQueueScheduler,
+    TenantShareScheduler,
+    tenant_mpl_caps,
 )
 from repro.scheduling.mpl import (
     MplController,
@@ -35,6 +37,8 @@ __all__ = [
     "PriorityScheduler",
     "ShortestJobFirstScheduler",
     "MultiQueueScheduler",
+    "TenantShareScheduler",
+    "tenant_mpl_caps",
     "MplController",
     "StaticMpl",
     "QueueingModelMpl",

@@ -207,7 +207,7 @@ class MultiQueueScheduler(Scheduler):
         limit = self.global_mpl.current_limit(context)
         running_by_workload: Dict[str, int] = {}
         for query in context.engine.running_queries():
-            key = query.workload_name or "<unassigned>"
+            key = self._workload_key(query)
             running_by_workload[key] = running_by_workload.get(key, 0) + 1
         running_total = context.engine.running_count
 
@@ -256,3 +256,74 @@ class MultiQueueScheduler(Scheduler):
 
     def queue_length(self, workload: str) -> int:
         return len(self._queues.get(workload, []))
+
+
+def tenant_mpl_caps(mpl: int, shares: Dict[str, float]) -> Dict[str, int]:
+    """Apportion ``mpl`` execution slots to tenants by share weight.
+
+    Largest-remainder apportionment with a floor of one slot per tenant
+    (a tenant with any share may always run *something*), deterministic
+    tie-break by tenant name.  The caps are the per-tenant MPL limits a
+    :class:`TenantShareScheduler` enforces — strict reservations, so a
+    noisy tenant's backlog cannot consume a quiet tenant's slots.
+    """
+    if mpl < 1:
+        raise ValueError(f"mpl must be >= 1, got {mpl}")
+    if not shares:
+        return {}
+    for tenant, share in shares.items():
+        if share <= 0:
+            raise ValueError(f"share for {tenant!r} must be > 0")
+    total = sum(shares.values())
+    caps: Dict[str, int] = {}
+    remainders: List[tuple] = []
+    assigned = 0
+    for tenant in sorted(shares):
+        raw = mpl * shares[tenant] / total
+        caps[tenant] = max(1, int(raw))
+        assigned += caps[tenant]
+        remainders.append((-(raw - int(raw)), tenant))
+    remainders.sort()
+    index = 0
+    while assigned < mpl and remainders:
+        _, tenant = remainders[index % len(remainders)]
+        caps[tenant] += 1
+        assigned += 1
+        index += 1
+    return caps
+
+
+class TenantShareScheduler(MultiQueueScheduler):
+    """Per-tenant MPL reservations on one node (multi-tenant isolation).
+
+    One wait queue per *tenant* — the part of ``workload_name`` before
+    the first ``/`` — with per-tenant MPL caps apportioned from share
+    weights (:func:`tenant_mpl_caps`) under the node's global MPL.
+    Dispatch sweeps tenants by queue-head priority exactly like
+    :class:`MultiQueueScheduler` sweeps workloads, so a flash-crowding
+    tenant saturates its own reservation and then *waits*, leaving the
+    other tenants' slots untouched — the node-tier half of the scenario
+    suite's isolation story (the cluster-tier half is tenant admission
+    quotas + task-queue tenant shares).
+    """
+
+    def __init__(
+        self,
+        mpl: int,
+        shares: Dict[str, float],
+        untenanted_mpl: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            global_mpl=mpl,
+            per_workload_mpl=tenant_mpl_caps(mpl, shares),
+            default_workload_mpl=untenanted_mpl,
+        )
+        self.shares = dict(shares)
+
+    def _workload_key(self, query: Query) -> str:
+        name = query.workload_name
+        if not name and ":" in query.sql:
+            name = query.sql.split(":", 1)[0]
+        if name and "/" in name:
+            return name.split("/", 1)[0]
+        return name or "<unassigned>"

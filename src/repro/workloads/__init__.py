@@ -24,6 +24,7 @@ from repro.workloads.models import (
     OpenArrivals,
     ClosedArrivals,
     BatchArrivals,
+    DiurnalArrivals,
     WorkloadSpec,
 )
 from repro.workloads.generator import (
@@ -48,6 +49,7 @@ __all__ = [
     "OpenArrivals",
     "ClosedArrivals",
     "BatchArrivals",
+    "DiurnalArrivals",
     "WorkloadSpec",
     "WorkloadGenerator",
     "Scenario",

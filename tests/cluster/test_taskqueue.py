@@ -71,6 +71,51 @@ class TestShares:
         with pytest.raises(ValueError):
             TaskQueue(default_share=-1.0)
 
+    def test_no_deficit_credit_while_drained(self):
+        """Regression: an empty class must not bank share credit.
+
+        ``bi`` drains to empty, ``oltp`` is then served many times, and
+        ``bi`` refills.  Before the refill fix, bi's frozen deficit sat
+        far below oltp's grown one, so bi monopolized every dispatch
+        slot until it "caught up" on share it had no work for.  The fair
+        1:1 split must apply from the refill onward instead.
+        """
+        queue = TaskQueue(class_shares={"oltp": 1.0, "bi": 1.0})
+        _push(queue, n=1, sql="bi:q")
+        assert queue.match(ALL).workload == "bi"  # bi drains to empty
+        _push(queue, n=100, sql="oltp:q")
+        for _ in range(50):
+            assert queue.match(ALL).workload == "oltp"
+        _push(queue, n=40, sql="bi:q")  # refill mid-backlog
+        next_20 = [queue.match(ALL).workload for _ in range(20)]
+        # equal shares -> alternating split, not a bi monopoly
+        assert next_20.count("bi") == 10
+        assert next_20.count("oltp") == 10
+
+    def test_refill_with_no_contention_keeps_credit_semantics(self):
+        """A refill with nothing else queued leaves deficits untouched."""
+        queue = TaskQueue(class_shares={"oltp": 1.0, "bi": 1.0})
+        _push(queue, n=2, sql="bi:q")
+        queue.match(ALL)
+        queue.match(ALL)
+        served_before = queue.served_counts()["bi"]
+        _push(queue, n=1, sql="bi:q")  # refill against an empty queue
+        assert queue.served_counts()["bi"] == served_before
+
+
+class TestTenantKeys:
+    def test_key_fn_buckets_by_tenant(self):
+        queue = TaskQueue(
+            class_shares={"acme": 1.0, "zeta": 1.0},
+            key_fn=lambda q: q.sql.split("/", 1)[0],
+        )
+        _push(queue, n=10, sql="acme/oltp:q")
+        _push(queue, n=10, sql="zeta/bi:q")
+        assert queue.class_depths() == {"acme": 10, "zeta": 10}
+        first_10 = [queue.match(ALL).workload for _ in range(10)]
+        assert first_10.count("acme") == 5
+        assert first_10.count("zeta") == 5
+
 
 class TestRequirements:
     def test_entry_only_matches_covering_capabilities(self):

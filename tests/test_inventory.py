@@ -40,6 +40,7 @@ EXPECTED_SUBPACKAGES = [
     "repro.cluster",
     "repro.parallel",
     "repro.backends",
+    "repro.scenarios",
 ]
 
 
